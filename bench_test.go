@@ -1,0 +1,289 @@
+package hap_test
+
+// One benchmark per reproduced table/figure (E1–E16), each running the
+// corresponding experiment at a reduced scale and reporting its headline
+// numbers as custom metrics, plus ablation benchmarks for the design
+// choices DESIGN.md calls out (σ solver, R solver, Laplace evaluation,
+// Solution-0 warm start) and raw engine throughput.
+//
+// Absolute values at bench scale differ from the full-scale runs in
+// EXPERIMENTS.md (shorter horizons, tighter truncation); the shapes are
+// the point. Full scale: go run ./cmd/experiments -scale 1.
+
+import (
+	"errors"
+	"io"
+	"testing"
+
+	"hap/internal/core"
+	"hap/internal/dist"
+	"hap/internal/experiments"
+	"hap/internal/gm1"
+	"hap/internal/markov"
+	"hap/internal/mmpp"
+	"hap/internal/sim"
+	"hap/internal/solver"
+)
+
+const benchScale = 0.05
+
+func benchExperiment(b *testing.B, id string, metrics ...string) {
+	e, ok := experiments.Get(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := e.Run(&experiments.Context{Scale: benchScale, Out: io.Discard, Seed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, mName := range metrics {
+				if v, ok := res.Values[mName]; ok {
+					b.ReportMetric(v, mName)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkE1HeadlineNumbers(b *testing.B) {
+	benchExperiment(b, "E1", "delayExact", "delaySol2", "delayMM1", "sigma2")
+}
+
+func BenchmarkE2InterarrivalDensity(b *testing.B) {
+	benchExperiment(b, "E2", "a0", "crossing1", "crossing2")
+}
+
+func BenchmarkE3InterarrivalTail(b *testing.B) {
+	benchExperiment(b, "E3", "tailAbove")
+}
+
+func BenchmarkE4DelayVsCapacity(b *testing.B) {
+	benchExperiment(b, "E4", "ratioLow", "ratioHigh")
+}
+
+func BenchmarkE5DelayVsArrivalRate(b *testing.B) {
+	benchExperiment(b, "E5", "ratioFirst", "ratioLast")
+}
+
+func BenchmarkE6Fluctuation(b *testing.B) {
+	benchExperiment(b, "E6", "hapSpan", "poisSpan")
+}
+
+func BenchmarkE7HourTrace(b *testing.B) {
+	benchExperiment(b, "E7", "hourPeak")
+}
+
+func BenchmarkE8PeakBusyPeriod(b *testing.B) {
+	benchExperiment(b, "E8", "peakHeight", "peakMinutes")
+}
+
+func BenchmarkE9PopulationAtPeak(b *testing.B) {
+	benchExperiment(b, "E9", "onsetUsers", "onsetApps")
+}
+
+func BenchmarkE10BusyIdleTable(b *testing.B) {
+	benchExperiment(b, "E10", "busyVarRatio", "heightVarRatio", "mountainDeficit")
+}
+
+func BenchmarkE11LevelSweep(b *testing.B) {
+	benchExperiment(b, "E11", "tUser", "tApp", "tMsg")
+}
+
+func BenchmarkE12AdmissionBounds(b *testing.B) {
+	benchExperiment(b, "E12", "gapFirst", "gapLast")
+}
+
+func BenchmarkE13EquivalentRateShapes(b *testing.B) {
+	benchExperiment(b, "E13", "scvA", "scvC", "delayA", "delayC")
+}
+
+func BenchmarkE14SolutionAccuracy(b *testing.B) {
+	benchExperiment(b, "E14", "errAtLow", "errAtHigh")
+}
+
+func BenchmarkE15ArrivalVsDeparture(b *testing.B) {
+	benchExperiment(b, "E15", "exactChange")
+}
+
+func BenchmarkE16OnOffEquivalence(b *testing.B) {
+	benchExperiment(b, "E16", "scvSim", "scvClosed")
+}
+
+func BenchmarkE17MultiplexCBR(b *testing.B) {
+	benchExperiment(b, "E17", "penalty")
+}
+
+func BenchmarkE18MMPP2Comparator(b *testing.B) {
+	benchExperiment(b, "E18", "hapDelay", "mmpp2Delay")
+}
+
+// --- Ablations -----------------------------------------------------------
+
+// BenchmarkAblationSigmaPaper measures the paper's averaging σ iteration.
+func BenchmarkAblationSigmaPaper(b *testing.B) {
+	benchSigma(b, gm1.MethodPaper)
+}
+
+// BenchmarkAblationSigmaBisect measures the safeguarded bisection default.
+func BenchmarkAblationSigmaBisect(b *testing.B) {
+	benchSigma(b, gm1.MethodBisect)
+}
+
+func benchSigma(b *testing.B, method gm1.Method) {
+	ia := core.PaperParams(20).Interarrival()
+	lam := ia.MeanRate()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sigma float64
+	for i := 0; i < b.N; i++ {
+		res, err := gm1.Solve(ia.Laplace, lam, 20, &gm1.Options{Method: method})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sigma = res.Sigma
+	}
+	b.ReportMetric(sigma, "sigma")
+}
+
+// BenchmarkAblationLaplaceMixture measures Solution 1's exact-mixture
+// transform path (chain solve + closed-form Laplace).
+func BenchmarkAblationLaplaceMixture(b *testing.B) {
+	m := core.PaperParams(20)
+	opts := &solver.Options{MaxUsers: 12, MaxApps: 60}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := solver.Solution1(m, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationLaplaceQuadrature measures Solution 2's numeric
+// quadrature of the closed-form density.
+func BenchmarkAblationLaplaceQuadrature(b *testing.B) {
+	m := core.PaperParams(20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := solver.Solution2(m, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationRLogReduction measures the quadratically convergent
+// Latouche–Ramaswami R solver.
+func BenchmarkAblationRLogReduction(b *testing.B) {
+	benchR(b, solver.RMethodLogReduction)
+}
+
+// BenchmarkAblationRFunctional measures the naive linear R iteration.
+func BenchmarkAblationRFunctional(b *testing.B) {
+	benchR(b, solver.RMethodFunctional)
+}
+
+func benchR(b *testing.B, method solver.RMethod) {
+	m := core.NewSymmetric(0.5, 0.25, 0.4, 0.5, 2, 50, 2, 2)
+	proc, _, err := mmpp.FromHAPSimplified(m, 10, 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mu, _ := m.UniformServiceRate()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solver.SolveQBD(proc, mu, method, 1e-12); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationSolution0WarmStart measures the brute-force sweep with
+// the Solution-1 product warm start (the default).
+func BenchmarkAblationSolution0WarmStart(b *testing.B) {
+	benchSolution0(b, false)
+}
+
+// BenchmarkAblationSolution0ColdStart measures the same sweep from the
+// uniform initial distribution.
+func BenchmarkAblationSolution0ColdStart(b *testing.B) {
+	benchSolution0(b, true)
+}
+
+func benchSolution0(b *testing.B, cold bool) {
+	m := core.NewSymmetric(0.5, 0.25, 0.4, 0.5, 2, 50, 2, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := solver.Solution0(m, &solver.Options{
+			MaxQueue: 200, Tol: 1e-9, MaxIter: 6000, DisableWarmStart: cold,
+		})
+		// A cold start may exhaust the sweep budget — that cost difference
+		// is exactly what the ablation measures, so only hard errors fail.
+		if err != nil && !errors.Is(err, markov.ErrNotConverged) {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(res.Iterations), "sweeps")
+		}
+	}
+}
+
+// --- Engine throughput ----------------------------------------------------
+
+// BenchmarkSimulatorHAPEvents measures raw event throughput of the
+// discrete-event engine under the full hierarchy.
+func BenchmarkSimulatorHAPEvents(b *testing.B) {
+	m := core.PaperParams(20)
+	b.ReportAllocs()
+	var events int64
+	for i := 0; i < b.N; i++ {
+		r := sim.RunHAP(m, sim.Config{Horizon: 20000, Seed: int64(i + 1)})
+		events += r.Events
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkSimulatorPoissonEvents is the single-source baseline.
+func BenchmarkSimulatorPoissonEvents(b *testing.B) {
+	b.ReportAllocs()
+	var events int64
+	for i := 0; i < b.N; i++ {
+		r := sim.RunPoisson(8.25, 20, sim.Config{Horizon: 20000, Seed: int64(i + 1)})
+		events += r.Events
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkInterarrivalPDF measures the closed-form density evaluation,
+// the inner loop of every Solution-2 quadrature.
+func BenchmarkInterarrivalPDF(b *testing.B) {
+	ia := core.PaperParams(20).Interarrival()
+	b.ReportAllocs()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		acc += ia.PDF(float64(i%1000) / 1000)
+	}
+	_ = acc
+}
+
+// BenchmarkHyperExpSample measures mixture sampling (Solution-1 scale
+// mixtures have thousands of branches).
+func BenchmarkHyperExpSample(b *testing.B) {
+	p := make([]float64, 2000)
+	rates := make([]float64, 2000)
+	for i := range p {
+		p[i] = float64(i + 1)
+		rates[i] = 0.1 + float64(i)*0.01
+	}
+	h := dist.NewHyperExponential(p, rates)
+	rng := dist.NewStreams(1).Next()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		acc += h.Sample(rng)
+	}
+	_ = acc
+}

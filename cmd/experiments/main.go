@@ -1,0 +1,60 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+//	go run ./cmd/experiments                 # everything at a moderate scale
+//	go run ./cmd/experiments -scale 1        # paper scale (minutes of CPU)
+//	go run ./cmd/experiments -experiment E4  # one artefact
+//	go run ./cmd/experiments -list
+//
+// CSV series land under -results (default ./results); ASCII charts and
+// paper-vs-measured tables print to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hap/internal/experiments"
+)
+
+func main() {
+	var (
+		scale   = flag.Float64("scale", 0.25, "experiment scale: 1 = paper scale, smaller = faster")
+		expID   = flag.String("experiment", "", "run a single experiment (E1..E16)")
+		results = flag.String("results", "results", "directory for CSV series ('' disables)")
+		seed    = flag.Int64("seed", 1993, "master random seed")
+		list    = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	ctx := &experiments.Context{
+		Scale:      *scale,
+		Out:        os.Stdout,
+		ResultsDir: *results,
+		Seed:       *seed,
+	}
+	if *expID != "" {
+		e, ok := experiments.Get(*expID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *expID)
+			os.Exit(2)
+		}
+		res, err := e.Run(ctx)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		res.Render(os.Stdout)
+		return
+	}
+	if _, err := experiments.RunAll(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "some experiments failed: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,139 @@
+// Command hapgen generates HAP-modulated UDP traffic or measures it.
+//
+// Sink (start first; prints the bound address):
+//
+//	go run ./cmd/hapgen -mode sink -listen 127.0.0.1:9999
+//
+// Sender (replays a HAP schedule, optionally time-compressed):
+//
+//	go run ./cmd/hapgen -mode send -to 127.0.0.1:9999 -model-seconds 600 -compress 100
+//
+// One-shot loopback demo (sender + sink in one process):
+//
+//	go run ./cmd/hapgen -mode loopback -model-seconds 300 -compress 100
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hap/internal/core"
+	"hap/internal/netgen"
+)
+
+func main() {
+	var (
+		mode     = flag.String("mode", "loopback", "send | sink | loopback")
+		to       = flag.String("to", "127.0.0.1:9999", "sink address (send mode)")
+		listen   = flag.String("listen", "127.0.0.1:9999", "listen address (sink mode)")
+		source   = flag.String("source", "hap", "hap | poisson | onoff")
+		seconds  = flag.Float64("model-seconds", 300, "model time to generate")
+		compress = flag.Float64("compress", 100, "time compression (model s per wall s)")
+		pad      = flag.Int("pad", 64, "payload padding bytes")
+		seed     = flag.Int64("seed", 1, "schedule seed")
+		muMsg    = flag.Float64("mu3", 20, "message service rate (model metadata)")
+	)
+	flag.Parse()
+
+	switch *mode {
+	case "sink":
+		runSink(*listen)
+	case "send":
+		s := makeSchedule(*source, *seconds, *seed, *muMsg)
+		sendTo(*to, s, *compress, *pad)
+	case "loopback":
+		sink, err := netgen.NewSink("127.0.0.1:0")
+		if err != nil {
+			fatal(err)
+		}
+		defer sink.Close()
+		s := makeSchedule(*source, *seconds, *seed, *muMsg)
+		fmt.Printf("schedule: %d packets over %g model s (rate %.4g/s); replay at %gx\n",
+			len(s.Arrivals), s.Horizon, s.MeanRate(), *compress)
+		done := make(chan netgen.SinkStats, 1)
+		go func() {
+			st, err := sink.Collect(context.Background(), len(s.Arrivals), 2*time.Second)
+			if err != nil {
+				fatal(err)
+			}
+			done <- st
+		}()
+		stats, err := netgen.Send(context.Background(), sink.Addr(), s, netgen.SenderConfig{
+			Compression: *compress, PayloadPad: *pad,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		st := <-done
+		fmt.Printf("sent %d packets (%d bytes) in %v, worst pacing lateness %v\n",
+			stats.Sent, stats.Bytes, stats.Elapsed.Round(time.Millisecond),
+			time.Duration(stats.MaxLateNs))
+		report(st)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+}
+
+func makeSchedule(source string, seconds float64, seed int64, muMsg float64) *netgen.Schedule {
+	var (
+		s   *netgen.Schedule
+		err error
+	)
+	switch source {
+	case "hap":
+		s, err = netgen.GenerateHAP(core.PaperParams(muMsg), seconds, seed)
+	case "poisson":
+		s, err = netgen.GeneratePoisson(core.PaperParams(muMsg).MeanRate(), seconds, seed)
+	case "onoff":
+		s, err = netgen.GenerateOnOff(core.NewOnOff(0.05, 0.01, 2, muMsg), seconds, seed)
+	default:
+		err = fmt.Errorf("unknown source %q", source)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	return s
+}
+
+func sendTo(addr string, s *netgen.Schedule, compress float64, pad int) {
+	fmt.Printf("sending %d packets to %s at %gx compression...\n", len(s.Arrivals), addr, compress)
+	stats, err := netgen.Send(context.Background(), addr, s, netgen.SenderConfig{
+		Compression: compress, PayloadPad: pad,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("sent %d packets (%d bytes) in %v\n", stats.Sent, stats.Bytes, stats.Elapsed.Round(time.Millisecond))
+}
+
+func runSink(listen string) {
+	sink, err := netgen.NewSink(listen)
+	if err != nil {
+		fatal(err)
+	}
+	defer sink.Close()
+	fmt.Printf("listening on %s (ctrl-c to stop; reports after 5 s idle)\n", sink.Addr())
+	st, err := sink.Collect(context.Background(), 0, 5*time.Second)
+	if err != nil {
+		fatal(err)
+	}
+	report(st)
+}
+
+func report(st netgen.SinkStats) {
+	fmt.Printf("received %d packets (%d bytes) in %v\n", st.Received, st.BytesTotal, st.Elapsed.Round(time.Millisecond))
+	fmt.Printf("  lost %d, reordered %d (seq %d..%d)\n", st.Lost, st.Reordered, st.FirstSeq, st.LastSeq)
+	fmt.Printf("  interarrival mean %.6gs, SCV %.4g\n", st.MeanIA, st.SCV)
+	if st.IDCWindow > 0 {
+		fmt.Printf("  IDC(%.3gs window) %.4g  (Poisson ≈ 1; HAP ≫ 1)\n", st.IDCWindow, st.IDC)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,120 @@
+// Command hapsim runs the discrete-event simulation of a symmetric HAP
+// (or the equal-rate Poisson baseline) feeding an exponential server, and
+// prints the measured statistics.
+//
+//	go run ./cmd/hapsim -horizon 1e6 -mu3 17 -busy
+//	go run ./cmd/hapsim -source poisson -horizon 1e6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hap/internal/core"
+	"hap/internal/sim"
+	"hap/internal/trace"
+)
+
+func main() {
+	var (
+		source  = flag.String("source", "hap", "traffic source: hap | poisson | onoff")
+		lambda  = flag.Float64("lambda", 0.0055, "user arrival rate λ")
+		mu      = flag.Float64("mu", 0.001, "user departure rate μ")
+		lambda2 = flag.Float64("lambda2", 0.01, "application invocation rate λ'")
+		mu2     = flag.Float64("mu2", 0.01, "application completion rate μ'")
+		lambda3 = flag.Float64("lambda3", 0.1, "message generation rate λ''")
+		mu3     = flag.Float64("mu3", 17, "message service rate μ''")
+		l       = flag.Int("l", 5, "number of application types")
+		mm      = flag.Int("m", 3, "message types per application")
+		horizon = flag.Float64("horizon", 1e6, "simulated seconds")
+		warmup  = flag.Float64("warmup", 0, "warmup seconds to discard (default horizon/100)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		busy    = flag.Bool("busy", false, "track busy periods (mountains)")
+		queue   = flag.Float64("queuetrace", 0, "queue trace sample interval in seconds (0 = off)")
+		csvOut  = flag.String("csv", "", "write the queue trace to this CSV file")
+		config  = flag.String("config", "", "JSON model file (hap source only; overrides the symmetric flags)")
+	)
+	flag.Parse()
+	if *warmup == 0 {
+		*warmup = *horizon / 100
+	}
+	mcfg := sim.MeasureConfig{
+		Warmup:             *warmup,
+		TrackBusy:          *busy,
+		KeepBusyPeriods:    *busy,
+		MaxBusyRetained:    1 << 20,
+		QueueTraceInterval: *queue,
+	}
+	cfg := sim.Config{Horizon: *horizon, Seed: *seed, Measure: mcfg}
+
+	var res *sim.RunResult
+	switch *source {
+	case "hap":
+		var m *core.Model
+		if *config != "" {
+			var err error
+			m, err = core.LoadModel(*config)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+		} else {
+			m = core.NewSymmetric(*lambda, *mu, *lambda2, *mu2, *lambda3, *mu3, *l, *mm)
+		}
+		if err := m.Validate(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Printf("source: %s\n", m)
+		res = sim.RunHAP(m, cfg)
+	case "poisson":
+		rate := core.NewSymmetric(*lambda, *mu, *lambda2, *mu2, *lambda3, *mu3, *l, *mm).MeanRate()
+		fmt.Printf("source: poisson(rate=%.4g)\n", rate)
+		res = sim.RunPoisson(rate, *mu3, cfg)
+	case "onoff":
+		tl := core.NewOnOff(*lambda, *mu, *lambda3, *mu3)
+		fmt.Printf("source: onoff(ν=%.4g, γ=%.4g)\n", tl.Nu(), tl.MsgLambda)
+		res = sim.RunOnOff(tl, cfg)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown source %q\n", *source)
+		os.Exit(2)
+	}
+
+	meas := res.Meas
+	fmt.Printf("\nevents %d, arrivals %d, departures %d, wall %v\n",
+		res.Events, res.Arrivals, res.Departures, res.Elapsed)
+	fmt.Printf("observed rate      %.5g msgs/s\n", meas.ObservedRate())
+	fmt.Printf("mean delay         %.5g s (std %.4g, max %.4g)\n",
+		meas.MeanDelay(), meas.Delays.Std(), meas.Delays.Max())
+	fmt.Printf("mean queue length  %.5g (max %g)\n", meas.MeanQueue(), meas.Queue.Max())
+	if *busy {
+		bt := &meas.Busy
+		fmt.Printf("busy periods       %d (busy fraction %.3g)\n", bt.Mountains(), bt.BusyFraction())
+		fmt.Printf("  busy   mean %.4g var %.4g\n", bt.Busy.Mean(), bt.Busy.Var())
+		fmt.Printf("  idle   mean %.4g var %.4g\n", bt.Idle.Mean(), bt.Idle.Var())
+		fmt.Printf("  height mean %.4g var %.4g max %g\n", bt.Height.Mean(), bt.Height.Var(), bt.Height.Max())
+		longest, tallest := bt.Peak()
+		fmt.Printf("  longest mountain %.4g s, tallest %d messages\n", longest.Length(), tallest.Height)
+	}
+	if *queue > 0 && len(meas.QueueTrace) > 0 {
+		xs := make([]float64, len(meas.QueueTrace))
+		ys := make([]float64, len(meas.QueueTrace))
+		for i, p := range meas.QueueTrace {
+			xs[i], ys[i] = p.T, p.V
+		}
+		dx, dy := trace.Downsample(xs, ys, 600)
+		fmt.Print(trace.Chart(trace.ChartOptions{
+			Title: "queue length", XLabel: "time (s)", YLabel: "messages",
+		}, trace.Line{Name: "queue", Xs: dx, Ys: dy}))
+		if *csvOut != "" {
+			if err := trace.WriteCSV(*csvOut,
+				trace.Series{Name: "t", Values: xs},
+				trace.Series{Name: "queue", Values: ys}); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("queue trace written to %s\n", *csvOut)
+		}
+	}
+}

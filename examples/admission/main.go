@@ -1,0 +1,93 @@
+// Admission control: use HAP as the computational base for broadband
+// network control (the paper's Section 6), three ways:
+//
+//  1. admissible workload for a given bandwidth;
+//  2. required bandwidth for a given workload;
+//  3. user/application caps that keep delay within an SLO (Figure 20);
+//
+// plus the Section 7 two-class admissible call region with O(1) table
+// lookups.
+//
+//	go run ./examples/admission
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hap"
+	"hap/internal/admission"
+)
+
+func main() {
+	m := hap.PaperParams(20)
+	target := 0.12 // seconds of mean delay
+
+	fmt.Printf("model %s, delay target %.3gs\n\n", m, target)
+
+	// 1. Admission control: how much more user load fits?
+	factor, delay, err := hap.MaxWorkload(m, target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("1) admissible workload: %.3g× current users (λ̄ → %.4g/s, delay %.4g s)\n",
+		factor, factor*m.MeanRate(), delay)
+
+	// 2. Bandwidth allocation: what service rate does the current load need?
+	mu, err := hap.RequiredBandwidth(m, 0.1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	poissonMu := m.MeanRate() + 1/0.1
+	fmt.Printf("2) bandwidth for 0.1 s delay: %.4g msgs/s (Poisson engineering says %.4g — %.1f%% under-provisioned)\n",
+		mu, poissonMu, 100*(mu-poissonMu)/mu)
+
+	// 3. Population caps: bound users/applications (Figure 20's knob).
+	s2, err := hap.Solve2(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	users, apps, err := admission.BoundsForDelay(m, s2.Delay*0.97, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	capped, err := hap.SolveBounded(m, users, apps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("3) capping at %d users / %d applications trims delay %.4g → %.4g s\n",
+		users, apps, s2.Delay, capped.Delay)
+
+	// 4. The ATM-style admissible call region (Section 7): voice and video
+	// connections sharing the link, decided by table lookup.
+	region, err := admission.NewRegion([]admission.CallClass{
+		{Name: "voice", MsgRate: 0.5},
+		{Name: "video", MsgRate: 2.0},
+	}, 20, 0.1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	table, err := region.BuildTable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n4) admissible call region (λmax %.4g msgs/s):\n%s", region.LambdaMax(), table)
+	for _, req := range [][2]int{{10, 2}, {10, 3}, {20, 0}} {
+		fmt.Printf("   request (voice=%d, video=%d): admit=%v\n",
+			req[0], req[1], table.Lookup(req[0], req[1]))
+	}
+
+	// 5. The burstiness penalty: how much of the Poisson-engineered region
+	// is actually safe when the offered traffic is a HAP?
+	headroom, err := admission.HAPHeadroom(
+		func(scale float64) func(float64) float64 {
+			return m.Scale(hap.LevelUser, scale).Interarrival().Laplace
+		},
+		func(scale float64) float64 { return scale * m.MeanRate() },
+		20, 0.105)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n5) HAP headroom: only %.0f%% of the Poisson-admissible rate is safe at this SLO.\n",
+		100*headroom)
+}

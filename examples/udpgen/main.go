@@ -1,0 +1,76 @@
+// UDP traffic generation: replay a HAP schedule as real datagrams over
+// the loopback and measure the arrival process on the other side — the
+// index of dispersion of what actually hits the socket is the burstiness
+// a real device under test would see. A Poisson schedule at the same mean
+// rate is measured for contrast.
+//
+//	go run ./examples/udpgen
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"hap"
+	"hap/internal/netgen"
+)
+
+func main() {
+	m := hap.PaperParams(20)
+	const (
+		modelSeconds = 600
+		compression  = 200 // 600 model s replayed in 3 wall s
+	)
+
+	hapSched, err := netgen.GenerateHAP(m, modelSeconds, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	poisSched, err := netgen.GeneratePoisson(m.MeanRate(), modelSeconds, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("schedules over %d model seconds: HAP %d packets, Poisson %d packets\n\n",
+		modelSeconds, len(hapSched.Arrivals), len(poisSched.Arrivals))
+
+	for _, tc := range []struct {
+		name  string
+		sched *netgen.Schedule
+	}{{"HAP", hapSched}, {"Poisson", poisSched}} {
+		st, send := replay(tc.sched)
+		fmt.Printf("%s over loopback UDP:\n", tc.name)
+		fmt.Printf("  sent %d, received %d (lost %d), %v wall\n",
+			send.Sent, st.Received, st.Lost, send.Elapsed.Round(time.Millisecond))
+		fmt.Printf("  receiver interarrival mean %.4g ms, SCV %.3g\n",
+			st.MeanIA*1000, st.SCV)
+		fmt.Printf("  receiver IDC(%.3gs) = %.3g\n\n", st.IDCWindow, st.IDC)
+	}
+	fmt.Println("Poisson IDC ≈ 1 by definition; the HAP stream carries its hierarchy onto the wire.")
+}
+
+func replay(s *netgen.Schedule) (netgen.SinkStats, netgen.SendStats) {
+	sink, err := netgen.NewSink("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sink.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	done := make(chan netgen.SinkStats, 1)
+	go func() {
+		st, err := sink.Collect(ctx, len(s.Arrivals), 2*time.Second)
+		if err != nil {
+			log.Fatal(err)
+		}
+		done <- st
+	}()
+	sendStats, err := netgen.Send(ctx, sink.Addr(), s, netgen.SenderConfig{
+		Compression: 200, PayloadPad: 64,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return <-done, sendStats
+}

@@ -1,0 +1,159 @@
+// Package hap is a Go implementation of the HAP (Hierarchical Arrival
+// Process) traffic model from Lin, Tsai, Huang and Gerla, "HAP: A New
+// Model for Packet Arrivals" (SIGCOMM '93), together with the paper's
+// complete analysis and simulation apparatus.
+//
+// A HAP models a network node's message arrivals as the product of three
+// modulating levels — users arrive and depart, present users invoke
+// applications, and active applications emit messages — which makes the
+// process an infinite-state MMPP with both short- and long-term
+// correlation. The package exposes:
+//
+//   - the model types and closed forms (Model, TwoLevel/ON-OFF, HAP-CS);
+//   - the paper's three HAP/M/1 solutions plus an exact matrix-geometric
+//     solver (Solve* functions);
+//   - a discrete-event simulator (Simulate* functions);
+//   - admission-control helpers built on the closed forms.
+//
+// Quick start:
+//
+//	m := hap.NewSymmetric(0.0055, 0.001, 0.01, 0.01, 0.1, 20, 5, 3)
+//	fmt.Println(m.MeanRate())           // 8.25 messages/s (Equation 4)
+//	res, _ := hap.Solve2(m)             // closed-form G/M/1 solution
+//	simRes := hap.Simulate(m, hap.SimConfig{Horizon: 1e5, Seed: 1})
+//
+// The deeper machinery (per-package solvers, MMPP construction, the
+// experiment harness) lives under internal/; the cmd/ binaries and
+// examples/ programs exercise it end to end.
+package hap
+
+import (
+	"hap/internal/admission"
+	"hap/internal/core"
+	"hap/internal/sim"
+	"hap/internal/solver"
+)
+
+// Model is a 3-level HAP (see internal/core for the full API).
+type Model = core.Model
+
+// AppType is one application class of a Model.
+type AppType = core.AppType
+
+// MessageType is one message class of an application type.
+type MessageType = core.MessageType
+
+// TwoLevel is the 2-level HAP, equivalently the classical ON-OFF model.
+type TwoLevel = core.TwoLevel
+
+// CSModel is the client-server extension (HAP-CS).
+type CSModel = core.CSModel
+
+// CSAppType is one application class of a CSModel.
+type CSAppType = core.CSAppType
+
+// CSMessageType is one request/response message class.
+type CSMessageType = core.CSMessageType
+
+// Level selects a modulating level for Scale/ScaleHolding.
+type Level = core.Level
+
+// The three modulating levels.
+const (
+	LevelUser    = core.LevelUser
+	LevelApp     = core.LevelApp
+	LevelMessage = core.LevelMessage
+)
+
+// NewSymmetric builds the paper's simplified HAP with l identical
+// application types of fanout identical message types:
+// user (λ, μ), application (λ', μ'), message (λ”, μ”).
+func NewSymmetric(lambda, mu, lambdaApp, muApp, lambdaMsg, muMsg float64, l, fanout int) *Model {
+	return core.NewSymmetric(lambda, mu, lambdaApp, muApp, lambdaMsg, muMsg, l, fanout)
+}
+
+// NewOnOff builds a 2-level HAP / ON-OFF superposition model.
+func NewOnOff(lambda, mu, msgLambda, msgMu float64) *TwoLevel {
+	return core.NewOnOff(lambda, mu, msgLambda, msgMu)
+}
+
+// PaperParams returns the Section 4 parameter set with the given message
+// service rate (λ̄ = 8.25).
+func PaperParams(muMsg float64) *Model { return core.PaperParams(muMsg) }
+
+// SolveResult is a solved HAP/M/1 queue.
+type SolveResult = solver.Result
+
+// SolveOptions tunes the solvers; the zero value picks defaults.
+type SolveOptions = solver.Options
+
+// Solve2 runs the paper's Solution 2 (closed-form interarrival law +
+// G/M/1 σ fixed point) — fast enough for on-line admission control.
+func Solve2(m *Model) (SolveResult, error) { return solver.Solution2(m, nil) }
+
+// Solve1 runs Solution 1 (truncated modulator steady state + exact
+// exponential-mixture transform).
+func Solve1(m *Model) (SolveResult, error) { return solver.Solution1(m, nil) }
+
+// Solve0 runs the brute-force Solution 0 (truncated joint chain swept by
+// Gauss–Seidel) with the given options.
+func Solve0(m *Model, opts *SolveOptions) (SolveResult, error) { return solver.Solution0(m, opts) }
+
+// SolveExact runs the matrix-geometric (Neuts) solution: exact in the
+// queue dimension, truncated only in the modulator.
+func SolveExact(m *Model, opts *SolveOptions) (SolveResult, error) {
+	return solver.Solution0MG(m, opts)
+}
+
+// SolvePoisson returns the equal-rate M/M/1 baseline.
+func SolvePoisson(m *Model) (SolveResult, error) { return solver.Poisson(m) }
+
+// SolveBounded runs Solution 2 with the user and application populations
+// admission-capped (Figure 20).
+func SolveBounded(m *Model, maxUsers, maxApps int) (SolveResult, error) {
+	return solver.Solution2Bounded(m, maxUsers, maxApps, nil)
+}
+
+// SimConfig drives a simulation run.
+type SimConfig = sim.Config
+
+// SimMeasure selects the statistics a run collects.
+type SimMeasure = sim.MeasureConfig
+
+// SimResult is a completed simulation.
+type SimResult = sim.RunResult
+
+// Simulate runs the discrete-event simulation of the full hierarchy
+// feeding a single exponential server.
+func Simulate(m *Model, cfg SimConfig) *SimResult { return sim.RunHAP(m, cfg) }
+
+// SimulatePoisson runs the Poisson baseline at the given rate and service
+// rate.
+func SimulatePoisson(rate, muMsg float64, cfg SimConfig) *SimResult {
+	return sim.RunPoisson(rate, muMsg, cfg)
+}
+
+// SimulateOnOff runs the 2-level / ON-OFF model.
+func SimulateOnOff(tl *TwoLevel, cfg SimConfig) *SimResult { return sim.RunOnOff(tl, cfg) }
+
+// SimulateCS runs the client-server model.
+func SimulateCS(m *CSModel, cfg SimConfig) *SimResult { return sim.RunCS(m, cfg) }
+
+// MaxWorkload finds the largest user arrival-rate multiplier whose
+// Solution-2 delay meets the target (admission control).
+func MaxWorkload(m *Model, targetDelay float64) (factor, delay float64, err error) {
+	return admission.MaxWorkload(m, targetDelay, 0, 0)
+}
+
+// RequiredBandwidth finds the smallest service rate whose Solution-2 delay
+// meets the target (bandwidth allocation).
+func RequiredBandwidth(m *Model, targetDelay float64) (float64, error) {
+	return admission.RequiredBandwidth(m, targetDelay, 0)
+}
+
+// DelayQuantiles computes exact sojourn-time quantiles (e.g. the p99) of
+// HAP/M/1 from the matrix-geometric solution — what an SLO needs beyond
+// the mean.
+func DelayQuantiles(m *Model, opts *SolveOptions, ps ...float64) ([]float64, error) {
+	return solver.DelayQuantiles(m, opts, ps...)
+}

@@ -1,0 +1,131 @@
+package hap_test
+
+import (
+	"math"
+	"testing"
+
+	"hap"
+)
+
+// The facade tests exercise the public API end to end the way the README
+// quick start does.
+
+func TestFacadeQuickStart(t *testing.T) {
+	m := hap.NewSymmetric(0.0055, 0.001, 0.01, 0.01, 0.1, 20, 5, 3)
+	if math.Abs(m.MeanRate()-8.25) > 1e-9 {
+		t.Fatalf("mean rate = %v", m.MeanRate())
+	}
+	res, err := hap.Solve2(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delay <= 0 || res.Sigma <= 0 || res.Sigma >= 1 {
+		t.Fatalf("implausible solution %+v", res)
+	}
+	simRes := hap.Simulate(m, hap.SimConfig{Horizon: 20000, Seed: 1})
+	if simRes.Meas.MeanDelay() <= 0 {
+		t.Fatal("simulation produced no delays")
+	}
+}
+
+func TestFacadeSolversConsistent(t *testing.T) {
+	m := hap.PaperParams(20)
+	s1, err := hap.Solve1(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := hap.Solve2(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s1.Delay-s2.Delay)/s2.Delay > 0.01 {
+		t.Errorf("solutions disagree: %v vs %v", s1.Delay, s2.Delay)
+	}
+	pois, err := hap.SolvePoisson(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Delay <= pois.Delay {
+		t.Error("HAP must exceed the Poisson baseline")
+	}
+}
+
+func TestFacadeBounded(t *testing.T) {
+	m := hap.PaperParams(20)
+	free, err := hap.SolveBounded(m, 60, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := hap.SolveBounded(m, 12, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Delay >= free.Delay {
+		t.Error("admission caps should reduce delay")
+	}
+}
+
+func TestFacadeOnOffAndCS(t *testing.T) {
+	tl := hap.NewOnOff(0.5, 0.1, 10, 100)
+	r := hap.SimulateOnOff(tl, hap.SimConfig{Horizon: 5000, Seed: 2})
+	if r.Arrivals == 0 {
+		t.Error("on-off produced no traffic")
+	}
+	cs := &hap.CSModel{
+		Name: "demo", Lambda: 0.01, Mu: 0.002,
+		Apps: []hap.CSAppType{{
+			Name: "shell", Lambda: 0.02, Mu: 0.02,
+			Messages: []hap.CSMessageType{{
+				Name: "cmd", Lambda: 0.1, MuReq: 50, MuResp: 30, PResp: 0.9, PNext: 0.5,
+			}},
+		}},
+	}
+	if err := cs.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rc := hap.SimulateCS(cs, hap.SimConfig{Horizon: 50000, Seed: 3})
+	if rc.Arrivals == 0 {
+		t.Error("cs produced no traffic")
+	}
+}
+
+func TestFacadeAdmission(t *testing.T) {
+	m := hap.PaperParams(20)
+	f, d, err := hap.MaxWorkload(m, 0.12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f <= 0 || d > 0.12 {
+		t.Errorf("workload search: f=%v d=%v", f, d)
+	}
+	mu, err := hap.RequiredBandwidth(m, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mu <= m.MeanRate() {
+		t.Errorf("bandwidth %v below stability", mu)
+	}
+}
+
+func TestFacadeLevelScaling(t *testing.T) {
+	m := hap.PaperParams(20)
+	up := m.Scale(hap.LevelMessage, 1.2)
+	if math.Abs(up.MeanRate()-8.25*1.2) > 1e-9 {
+		t.Errorf("scaled rate = %v", up.MeanRate())
+	}
+}
+
+func TestFacadeDelayQuantiles(t *testing.T) {
+	m := hap.PaperParams(20)
+	qs, err := hap.DelayQuantiles(m, &hap.SolveOptions{MaxUsers: 8, MaxApps: 48}, 0.5, 0.9, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(qs[0] < qs[1] && qs[1] < qs[2]) {
+		t.Fatalf("quantiles not increasing: %v", qs)
+	}
+	// The p99 should dwarf the median under HAP burstiness.
+	if qs[2] < 3*qs[0] {
+		t.Errorf("p99 %v vs median %v — tail too thin for HAP", qs[2], qs[0])
+	}
+}

@@ -1,0 +1,138 @@
+// Package admission turns the paper's Section 6–7 discussion into usable
+// control machinery: HAP "can serve as the computational base to estimate
+// the admissible workload for a given bandwidth (admission control), or
+// the required bandwidth for a given workload (bandwidth allocation)".
+//
+// All searches run on Solution 2 (closed form) because that is the paper's
+// fast-enough-for-control computation; its accuracy conditions (utilisation
+// under ~30%) are the regime the paper recommends operating in anyway.
+package admission
+
+import (
+	"errors"
+	"fmt"
+
+	"hap/internal/core"
+	"hap/internal/solver"
+)
+
+// ErrInfeasible reports that no setting meets the target.
+var ErrInfeasible = errors.New("admission: target delay infeasible")
+
+// MaxWorkload finds the largest user arrival-rate multiplier f such that
+// the scaled model's Solution-2 mean delay stays within targetDelay, by
+// bisection on f ∈ (0, fMax]. It returns the multiplier and the delay at
+// that setting. The returned model rate is f·λ.
+func MaxWorkload(m *core.Model, targetDelay, fMax float64, tol float64) (f float64, delay float64, err error) {
+	if targetDelay <= 0 {
+		return 0, 0, fmt.Errorf("admission: target delay must be positive")
+	}
+	if fMax <= 0 {
+		fMax = 4
+	}
+	if tol <= 0 {
+		tol = 1e-4
+	}
+	eval := func(f float64) (float64, bool) {
+		scaled := m.Scale(core.LevelUser, f)
+		res, err := solver.Solution2(scaled, nil)
+		if err != nil {
+			return 0, false // unstable or invalid → over target
+		}
+		return res.Delay, true
+	}
+	// The delay is increasing in f; make sure even a tiny load meets the
+	// target.
+	lo, hi := 0.0, fMax
+	if d, ok := eval(1e-6); !ok || d > targetDelay {
+		return 0, 0, ErrInfeasible
+	}
+	if d, ok := eval(fMax); ok && d <= targetDelay {
+		return fMax, d, nil
+	}
+	for hi-lo > tol {
+		mid := (lo + hi) / 2
+		if d, ok := eval(mid); ok && d <= targetDelay {
+			lo = mid
+			delay = d
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return 0, 0, ErrInfeasible
+	}
+	return lo, delay, nil
+}
+
+// RequiredBandwidth finds the smallest message service rate μ” whose
+// Solution-2 delay meets targetDelay, by bisection — the paper's
+// bandwidth-allocation direction. The model's own μ” is ignored.
+func RequiredBandwidth(m *core.Model, targetDelay float64, tol float64) (mu float64, err error) {
+	if targetDelay <= 0 {
+		return 0, fmt.Errorf("admission: target delay must be positive")
+	}
+	if tol <= 0 {
+		tol = 1e-6
+	}
+	lam := m.MeanRate()
+	lo := lam * (1 + 1e-9) // stability floor
+	hi := lam + 4/targetDelay + 10*lam
+	withMu := func(mu float64) (float64, bool) {
+		scaled := m.Clone()
+		for i := range scaled.Apps {
+			for j := range scaled.Apps[i].Messages {
+				scaled.Apps[i].Messages[j].Mu = mu
+			}
+		}
+		res, err := solver.Solution2(scaled, nil)
+		if err != nil {
+			return 0, false
+		}
+		return res.Delay, true
+	}
+	if d, ok := withMu(hi); !ok || d > targetDelay {
+		return 0, ErrInfeasible
+	}
+	for hi-lo > tol*hi {
+		mid := (lo + hi) / 2
+		if d, ok := withMu(mid); ok && d <= targetDelay {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}
+
+// BoundsForDelay searches the smallest symmetric user/application caps
+// (scanning the user cap, with the app cap tied to capUsers·appsPerUser)
+// whose bounded Solution 2 meets the target — Figure 20's admission knob.
+// appsPerUser defaults to the model's mean per-user application load.
+func BoundsForDelay(m *core.Model, targetDelay float64, appsPerUser float64) (maxUsers, maxApps int, err error) {
+	if appsPerUser <= 0 {
+		appsPerUser = m.MeanApps() / m.MeanUsers()
+	}
+	for cap := 1; cap <= 400; cap++ {
+		apps := int(float64(cap)*appsPerUser + 0.5)
+		if apps < 1 {
+			apps = 1
+		}
+		res, err := solver.Solution2Bounded(m, cap, apps, nil)
+		if err != nil {
+			continue
+		}
+		if res.Delay > targetDelay {
+			if cap == 1 {
+				return 0, 0, ErrInfeasible
+			}
+			prevApps := int(float64(cap-1)*appsPerUser + 0.5)
+			if prevApps < 1 {
+				prevApps = 1
+			}
+			return cap - 1, prevApps, nil
+		}
+	}
+	// Even unbounded meets the target.
+	return 400, int(400*appsPerUser + 0.5), nil
+}

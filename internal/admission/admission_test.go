@@ -1,0 +1,185 @@
+package admission
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"hap/internal/core"
+	"hap/internal/solver"
+)
+
+func TestMaxWorkloadMeetsTarget(t *testing.T) {
+	m := core.PaperParams(20)
+	target := 0.12
+	f, delay, err := MaxWorkload(m, target, 4, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delay > target {
+		t.Errorf("returned delay %v exceeds target %v", delay, target)
+	}
+	// The boundary must be tight: a slightly higher load misses the target.
+	over, err := solver.Solution2(m.Scale(core.LevelUser, f*1.05), nil)
+	if err == nil && over.Delay <= target {
+		t.Errorf("f=%v is not maximal (f·1.05 → %v)", f, over.Delay)
+	}
+	// Base model has delay ≈ 0.094 < 0.12, so f must exceed 1.
+	if f <= 1 {
+		t.Errorf("f = %v, want > 1", f)
+	}
+}
+
+func TestMaxWorkloadInfeasible(t *testing.T) {
+	m := core.PaperParams(20)
+	// Below the bare service time 1/20, no load level works.
+	if _, _, err := MaxWorkload(m, 0.01, 4, 1e-4); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("expected ErrInfeasible, got %v", err)
+	}
+	if _, _, err := MaxWorkload(m, -1, 4, 0); err == nil {
+		t.Error("negative target must error")
+	}
+}
+
+func TestRequiredBandwidth(t *testing.T) {
+	m := core.PaperParams(20)
+	target := 0.1
+	mu, err := RequiredBandwidth(m, target, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Check the returned bandwidth indeed meets the target, tightly.
+	scaled := m.Clone()
+	for i := range scaled.Apps {
+		for j := range scaled.Apps[i].Messages {
+			scaled.Apps[i].Messages[j].Mu = mu
+		}
+	}
+	res, err := solver.Solution2(scaled, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delay > target*(1+1e-3) {
+		t.Errorf("delay %v at returned bandwidth exceeds target %v", res.Delay, target)
+	}
+	// HAP needs more than the M/M/1 bandwidth λ + 1/T.
+	mm1 := m.MeanRate() + 1/target
+	if mu <= mm1 {
+		t.Errorf("HAP bandwidth %v should exceed the Poisson requirement %v", mu, mm1)
+	}
+}
+
+func TestBoundsForDelay(t *testing.T) {
+	m := core.PaperParams(20)
+	s2, err := solver.Solution2(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A target below the unbounded delay forces finite caps.
+	target := s2.Delay * 0.97
+	users, apps, err := BoundsForDelay(m, target, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if users <= 0 || users >= 400 {
+		t.Fatalf("caps %d/%d not finite and positive", users, apps)
+	}
+	res, err := solver.Solution2Bounded(m, users, apps, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delay > target {
+		t.Errorf("bounded delay %v exceeds target %v", res.Delay, target)
+	}
+	// A generous target needs no caps.
+	u2, _, err := BoundsForDelay(m, s2.Delay*2, 0)
+	if err != nil || u2 != 400 {
+		t.Errorf("generous target should be uncapped: %d, %v", u2, err)
+	}
+}
+
+func TestRegionAndTable(t *testing.T) {
+	classes := []CallClass{
+		{Name: "voice", MsgRate: 0.5},
+		{Name: "video", MsgRate: 2.0},
+	}
+	r, err := NewRegion(classes, 20, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// λmax = 20 − 10 = 10 → 20 voice alone, 5 video alone.
+	if r.MaxCalls[0] != 20 || r.MaxCalls[1] != 5 {
+		t.Fatalf("extreme points = %v", r.MaxCalls)
+	}
+	if !r.Admissible([]int{10, 2}) { // λ = 9 < 10
+		t.Error("(10,2) should be admissible")
+	}
+	if r.Admissible([]int{10, 3}) { // λ = 11 > 10
+		t.Error("(10,3) should be rejected")
+	}
+	if r.Admissible([]int{-1, 0}) {
+		t.Error("negative counts must be rejected")
+	}
+	// Linear approximation coincides with the exact M/M/1 boundary.
+	for n0 := 0; n0 <= 22; n0++ {
+		for n1 := 0; n1 <= 6; n1++ {
+			if r.Admissible([]int{n0, n1}) != r.AdmissibleLinear([]int{n0, n1}) {
+				t.Errorf("linear mismatch at (%d,%d)", n0, n1)
+			}
+		}
+	}
+	tab, err := r.BuildTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tab.Lookup(10, 2) || tab.Lookup(10, 3) || tab.Lookup(21, 0) || tab.Lookup(-1, 0) {
+		t.Error("table lookups disagree with region")
+	}
+	if tab.String() == "" {
+		t.Error("empty table rendering")
+	}
+	// Effective bandwidths: rᵢ/λmax.
+	eb := r.EffectiveBandwidth()
+	if math.Abs(eb[0]-0.05) > 1e-12 || math.Abs(eb[1]-0.2) > 1e-12 {
+		t.Errorf("effective bandwidths = %v", eb)
+	}
+}
+
+func TestRegionValidation(t *testing.T) {
+	if _, err := NewRegion(nil, 20, 0.1); err == nil {
+		t.Error("empty classes must fail")
+	}
+	if _, err := NewRegion([]CallClass{{Name: "x", MsgRate: 1}}, 20, 0.01); !errors.Is(err, ErrInfeasible) {
+		t.Error("target below service time must be infeasible")
+	}
+	if _, err := NewRegion([]CallClass{{Name: "x", MsgRate: 0}}, 20, 0.1); err == nil {
+		t.Error("zero-rate class must fail")
+	}
+	r, _ := NewRegion([]CallClass{{Name: "x", MsgRate: 1}}, 20, 0.1)
+	if _, err := r.BuildTable(); err == nil {
+		t.Error("one-class table must fail")
+	}
+}
+
+func TestHAPHeadroomBelowOne(t *testing.T) {
+	// The HAP correction must admit less than the Poisson region: factor
+	// strictly inside (0, 1) for a tight target.
+	m := core.PaperParams(20)
+	mu := 20.0
+	target := 0.105 // a bit above Poisson-feasible at λmax
+	laplaceAt := func(scale float64) func(float64) float64 {
+		return m.Scale(core.LevelUser, scale).Interarrival().Laplace
+	}
+	rateAt := func(scale float64) float64 { return scale * m.MeanRate() }
+	factor, err := HAPHeadroom(laplaceAt, rateAt, mu, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if factor <= 0 || factor >= 1 {
+		t.Errorf("headroom factor = %v, want in (0,1)", factor)
+	}
+	// Infeasible target.
+	if _, err := HAPHeadroom(laplaceAt, rateAt, mu, 0.01); !errors.Is(err, ErrInfeasible) {
+		t.Error("expected ErrInfeasible")
+	}
+}

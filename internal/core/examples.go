@@ -1,0 +1,131 @@
+package core
+
+// This file provides the concrete parameter sets and example models used
+// throughout the paper's evaluation, so experiments and tests share one
+// source of truth.
+
+// PaperParams is the Section 4 starting parameter set:
+//
+//	λ = 0.0055, μ = 0.001, λ' = 0.01, μ' = 0.01, λ'' = 0.1, l = 5, m = 3
+//
+// giving λ̄ = (λ/μ)(λ'/μ')·l·m·λ” = 5.5 · 1 · 15 · 0.1 = 8.25.
+// The message service rate μ” is the experiment's knob: 20 for the
+// headline numbers, 17 for Figures 11–18.
+func PaperParams(muMsg float64) *Model {
+	m := NewSymmetric(0.0055, 0.001, 0.01, 0.01, 0.1, muMsg, 5, 3)
+	m.Name = "paper-P0"
+	return m
+}
+
+// Figure9Params is the parameter set of Figures 9–10: as PaperParams but
+// with λ = 0.005, so λ̄ = 7.5 and a(0) = N(0)/M(0) + (1+ν)M(0) =
+// 0.09·5/1.5 + 6·1.5 = 9.3 (the paper reports 9.28).
+func Figure9Params(muMsg float64) *Model {
+	m := NewSymmetric(0.005, 0.001, 0.01, 0.01, 0.1, muMsg, 5, 3)
+	m.Name = "paper-P9"
+	return m
+}
+
+// Figure5Example reproduces the structure of the paper's Figure 5(a): four
+// application types sharing five message types
+// (A interactive, B file transfer, C image, D voice, E video).
+// The rates are illustrative — the paper gives the structure, not numbers —
+// chosen to respect the Section 4.1 rate-separation guidelines.
+func Figure5Example() *Model {
+	msg := func(name string, lambda, mu float64) MessageType {
+		return MessageType{Name: name, Lambda: lambda, Mu: mu}
+	}
+	return &Model{
+		Name:   "figure5",
+		Lambda: 0.005,
+		Mu:     0.001,
+		Apps: []AppType{
+			{
+				Name: "programming", Lambda: 0.01, Mu: 0.01,
+				Messages: []MessageType{
+					msg("A/interactive", 0.2, 50),
+					msg("B/file-transfer", 0.05, 10),
+				},
+			},
+			{
+				Name: "database", Lambda: 0.012, Mu: 0.015,
+				Messages: []MessageType{
+					msg("A/interactive", 0.25, 50),
+				},
+			},
+			{
+				Name: "graphics", Lambda: 0.008, Mu: 0.01,
+				Messages: []MessageType{
+					msg("C/image", 0.1, 5),
+				},
+			},
+			{
+				Name: "multimedia", Lambda: 0.006, Mu: 0.008,
+				Messages: []MessageType{
+					msg("A/interactive", 0.1, 50),
+					msg("B/file-transfer", 0.04, 10),
+					msg("C/image", 0.06, 5),
+					msg("D/voice", 0.15, 20),
+					msg("E/video", 0.08, 4),
+				},
+			},
+		},
+	}
+}
+
+// Figure8A, Figure8B and Figure8C build the three equivalent-mean-rate
+// HAPs of Figure 8: four message-type leaves arranged as 4×1, 2×2 and 1×4
+// application×message branches. By Equation 5 all three share
+// λ̄ = 4·(λ/μ)(λ'/μ')·λ”, but the more the leaves concentrate under one
+// application type the higher the per-active-instance rate (λ”, 2λ”,
+// 4λ”) and hence the burstiness: (c) > (b) > (a).
+func Figure8A() *Model { m := figure8(4, 1); m.Name = "figure8a-4x1"; return m }
+
+// Figure8B is the 2 application × 2 message arrangement.
+func Figure8B() *Model { m := figure8(2, 2); m.Name = "figure8b-2x2"; return m }
+
+// Figure8C is the 1 application × 4 message arrangement.
+func Figure8C() *Model { m := figure8(1, 4); m.Name = "figure8c-1x4"; return m }
+
+func figure8(l, fanout int) *Model {
+	return NewSymmetric(0.0055, 0.001, 0.01, 0.01, 0.1, 17, l, fanout)
+}
+
+// RloginCS is an HAP-CS example modelled on the paper's rlogin narrative:
+// interactive commands are requests that almost always elicit a response,
+// and the response frequently prompts the next command.
+func RloginCS() *CSModel {
+	return &CSModel{
+		Name:   "rlogin-cs",
+		Lambda: 0.005,
+		Mu:     0.001,
+		Apps: []CSAppType{
+			{
+				Name: "rlogin", Lambda: 0.01, Mu: 0.01,
+				Messages: []CSMessageType{
+					{
+						Name:   "command",
+						Lambda: 0.05,
+						MuReq:  40,
+						MuResp: 25,
+						PResp:  0.95,
+						PNext:  0.6,
+					},
+				},
+			},
+			{
+				Name: "file-transfer", Lambda: 0.008, Mu: 0.012,
+				Messages: []CSMessageType{
+					{
+						Name:   "block",
+						Lambda: 0.03,
+						MuReq:  15,
+						MuResp: 60,
+						PResp:  1.0,
+						PNext:  0.3,
+					},
+				},
+			},
+		},
+	}
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+func bytesReader(b []byte) io.Reader { return bytes.NewReader(b) }
+
+// This file provides JSON (de)serialisation for models so the command-line
+// tools can work with arbitrary asymmetric HAPs, not just the symmetric
+// flag sets.
+
+// MarshalJSONFile writes the model as indented JSON.
+func (m *Model) MarshalJSONFile(path string) error {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("core: marshal model: %w", err)
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// LoadModel reads a model from a JSON file and validates it.
+func LoadModel(path string) (*Model, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: read model: %w", err)
+	}
+	return ParseModel(b)
+}
+
+// ParseModel decodes and validates a JSON model.
+func ParseModel(b []byte) (*Model, error) {
+	var m Model
+	dec := json.NewDecoder(bytesReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("core: parse model: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// LoadCSModel reads an HAP-CS model from a JSON file and validates it.
+func LoadCSModel(path string) (*CSModel, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: read cs model: %w", err)
+	}
+	var m CSModel
+	dec := json.NewDecoder(bytesReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("core: parse cs model: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestModelJSONRoundTrip(t *testing.T) {
+	m := Figure5Example()
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := m.MarshalJSONFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != m.Name || len(got.Apps) != len(m.Apps) {
+		t.Fatalf("roundtrip mismatch: %+v", got)
+	}
+	wantClose(t, "rate", got.MeanRate(), m.MeanRate(), 1e-12)
+}
+
+func TestParseModelRejectsInvalid(t *testing.T) {
+	if _, err := ParseModel([]byte(`{"Lambda": -1, "Mu": 0.1, "Apps": []}`)); err == nil {
+		t.Error("invalid rates accepted")
+	}
+	if _, err := ParseModel([]byte(`{"Bogus": 1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := ParseModel([]byte(`not json`)); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestLoadModelMissingFile(t *testing.T) {
+	if _, err := LoadModel(filepath.Join(t.TempDir(), "nope.json")); err == nil ||
+		!strings.Contains(err.Error(), "read model") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestLoadCSModel(t *testing.T) {
+	cs := RloginCS()
+	path := filepath.Join(t.TempDir(), "cs.json")
+	// Write via generic marshal (CSModel has no MarshalJSONFile helper).
+	m := &Model{Name: "x", Lambda: 1, Mu: 1, Apps: []AppType{{Lambda: 1, Mu: 1,
+		Messages: []MessageType{{Lambda: 1, Mu: 1}}}}}
+	_ = m
+	b := []byte(`{
+		"Name": "cs",
+		"Lambda": 0.005, "Mu": 0.001,
+		"Apps": [{
+			"Name": "rlogin", "Lambda": 0.01, "Mu": 0.01,
+			"Messages": [{"Name": "cmd", "Lambda": 0.05, "MuReq": 40, "MuResp": 25, "PResp": 0.9, "PNext": 0.5}]
+		}]
+	}`)
+	if err := writeFile(path, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCSModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Apps[0].Messages[0].PResp != 0.9 {
+		t.Error("cs fields lost")
+	}
+	_ = cs
+}
+
+func writeFile(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o644)
+}

@@ -1,0 +1,233 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// sampleMoments draws n variates and returns the sample mean and variance.
+func sampleMoments(t *testing.T, d Distribution, n int) (mean, variance float64) {
+	t.Helper()
+	r := rand.New(rand.NewSource(42))
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := d.Sample(r)
+		if v < 0 {
+			t.Fatalf("%v produced negative sample %v", d, v)
+		}
+		sum += v
+		sumsq += v * v
+	}
+	mean = sum / float64(n)
+	variance = sumsq/float64(n) - mean*mean
+	return mean, variance
+}
+
+func wantClose(t *testing.T, name string, got, want, relTol float64) {
+	t.Helper()
+	if want == 0 {
+		if math.Abs(got) > relTol {
+			t.Errorf("%s = %v, want ~0", name, got)
+		}
+		return
+	}
+	if math.Abs(got-want)/math.Abs(want) > relTol {
+		t.Errorf("%s = %v, want %v (rel tol %v)", name, got, want, relTol)
+	}
+}
+
+func TestExponentialMoments(t *testing.T) {
+	e := NewExponential(4)
+	wantClose(t, "mean", e.Mean(), 0.25, 1e-12)
+	wantClose(t, "var", e.Var(), 0.0625, 1e-12)
+	m, v := sampleMoments(t, e, 200000)
+	wantClose(t, "sample mean", m, 0.25, 0.02)
+	wantClose(t, "sample var", v, 0.0625, 0.05)
+}
+
+func TestExponentialPDFCDFConsistency(t *testing.T) {
+	e := NewExponential(2.5)
+	// Numeric derivative of the CDF should match the PDF.
+	for _, x := range []float64{0.01, 0.3, 1, 2.7} {
+		h := 1e-6
+		d := (e.CDF(x+h) - e.CDF(x-h)) / (2 * h)
+		wantClose(t, "dCDF/dt", d, e.PDF(x), 1e-4)
+	}
+	if e.CDF(-1) != 0 || e.PDF(-1) != 0 {
+		t.Error("negative support should have zero mass")
+	}
+}
+
+func TestExponentialQuantileInvertsCDF(t *testing.T) {
+	e := NewExponential(0.7)
+	for _, p := range []float64{0.01, 0.25, 0.5, 0.9, 0.999} {
+		wantClose(t, "CDF(Quantile(p))", e.CDF(e.Quantile(p)), p, 1e-10)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	d := NewDeterministic(3)
+	m, v := sampleMoments(t, d, 100)
+	wantClose(t, "mean", m, 3, 1e-12)
+	wantClose(t, "var", v, 0, 1e-9)
+	wantClose(t, "laplace", d.Laplace(2), math.Exp(-6), 1e-12)
+}
+
+func TestUniformMoments(t *testing.T) {
+	u := NewUniform(1, 3)
+	wantClose(t, "mean", u.Mean(), 2, 1e-12)
+	wantClose(t, "var", u.Var(), 4.0/12, 1e-12)
+	m, v := sampleMoments(t, u, 100000)
+	wantClose(t, "sample mean", m, 2, 0.01)
+	wantClose(t, "sample var", v, 1.0/3, 0.05)
+}
+
+func TestErlangMoments(t *testing.T) {
+	e := NewErlang(4, 8) // mean 0.5, var 4/64
+	wantClose(t, "mean", e.Mean(), 0.5, 1e-12)
+	wantClose(t, "var", e.Var(), 4.0/64, 1e-12)
+	m, v := sampleMoments(t, e, 100000)
+	wantClose(t, "sample mean", m, 0.5, 0.01)
+	wantClose(t, "sample var", v, 0.0625, 0.05)
+	wantClose(t, "SCV", SCV(e), 0.25, 1e-12)
+}
+
+func TestErlangK1MatchesExponential(t *testing.T) {
+	e1 := NewErlang(1, 3)
+	ex := NewExponential(3)
+	for _, x := range []float64{0.1, 0.5, 1, 2} {
+		wantClose(t, "pdf", e1.PDF(x), ex.PDF(x), 1e-10)
+		wantClose(t, "cdf", e1.CDF(x), ex.CDF(x), 1e-10)
+		wantClose(t, "laplace", e1.Laplace(x), ex.Laplace(x), 1e-12)
+	}
+}
+
+func TestErlangCDFMatchesPDFIntegral(t *testing.T) {
+	e := NewErlang(3, 2)
+	// Trapezoid integral of the PDF up to x should match the CDF.
+	const n = 20000
+	x := 2.0
+	h := x / n
+	var integral float64
+	for i := 0; i <= n; i++ {
+		w := 1.0
+		if i == 0 || i == n {
+			w = 0.5
+		}
+		integral += w * e.PDF(float64(i)*h)
+	}
+	integral *= h
+	wantClose(t, "∫pdf", integral, e.CDF(x), 1e-5)
+}
+
+func TestHyperExponential(t *testing.T) {
+	h := NewHyperExponential([]float64{0.3, 0.7}, []float64{1, 10})
+	wantMean := 0.3/1 + 0.7/10
+	wantClose(t, "mean", h.Mean(), wantMean, 1e-12)
+	m, v := sampleMoments(t, h, 300000)
+	wantClose(t, "sample mean", m, wantMean, 0.02)
+	wantClose(t, "sample var", v, h.Var(), 0.05)
+	if SCV(h) <= 1 {
+		t.Errorf("hyperexponential SCV = %v, want > 1", SCV(h))
+	}
+}
+
+func TestHyperExponentialNormalises(t *testing.T) {
+	h := NewHyperExponential([]float64{3, 7}, []float64{1, 10})
+	wantClose(t, "p0", h.P[0], 0.3, 1e-12)
+	wantClose(t, "p1", h.P[1], 0.7, 1e-12)
+	wantClose(t, "laplace(0)", h.Laplace(0), 1, 1e-12)
+}
+
+func TestHyperExponentialManyBranches(t *testing.T) {
+	// Binary-search sampling path with a larger mixture.
+	n := 100
+	p := make([]float64, n)
+	rates := make([]float64, n)
+	for i := range p {
+		p[i] = float64(i + 1)
+		rates[i] = float64(i+1) * 0.5
+	}
+	h := NewHyperExponential(p, rates)
+	m, _ := sampleMoments(t, h, 200000)
+	wantClose(t, "sample mean", m, h.Mean(), 0.03)
+}
+
+func TestParetoMoments(t *testing.T) {
+	p := NewPareto(1, 3)
+	wantClose(t, "mean", p.Mean(), 1.5, 1e-12)
+	wantClose(t, "var", p.Var(), 0.75, 1e-12)
+	m, _ := sampleMoments(t, p, 400000)
+	wantClose(t, "sample mean", m, 1.5, 0.03)
+}
+
+func TestParetoInfiniteMoments(t *testing.T) {
+	if !math.IsInf(NewPareto(1, 0.9).Mean(), 1) {
+		t.Error("alpha<1 should have infinite mean")
+	}
+	if !math.IsInf(NewPareto(1, 1.5).Var(), 1) {
+		t.Error("alpha<2 should have infinite variance")
+	}
+}
+
+func TestWeibullShape1IsExponential(t *testing.T) {
+	w := NewWeibull(2, 1) // mean 2
+	e := NewExponential(0.5)
+	wantClose(t, "mean", w.Mean(), e.Mean(), 1e-12)
+	for _, x := range []float64{0.2, 1, 3} {
+		wantClose(t, "cdf", w.CDF(x), e.CDF(x), 1e-12)
+	}
+}
+
+func TestLognormalMoments(t *testing.T) {
+	l := NewLognormal(0, 0.5)
+	m, v := sampleMoments(t, l, 400000)
+	wantClose(t, "sample mean", m, l.Mean(), 0.02)
+	wantClose(t, "sample var", v, l.Var(), 0.1)
+}
+
+func TestGeometricMoments(t *testing.T) {
+	g := NewGeometric(0.25)
+	wantClose(t, "mean", g.Mean(), 4, 1e-12)
+	m, v := sampleMoments(t, g, 300000)
+	wantClose(t, "sample mean", m, 4, 0.02)
+	wantClose(t, "sample var", v, 12, 0.05)
+	one := NewGeometric(1)
+	r := rand.New(rand.NewSource(1))
+	if one.Sample(r) != 1 {
+		t.Error("p=1 geometric must always return 1")
+	}
+}
+
+func TestRateAndSCVHelpers(t *testing.T) {
+	e := NewExponential(5)
+	wantClose(t, "rate", Rate(e), 5, 1e-12)
+	wantClose(t, "scv", SCV(e), 1, 1e-12)
+}
+
+func TestInvalidParamsPanic(t *testing.T) {
+	cases := []func(){
+		func() { NewExponential(0) },
+		func() { NewExponential(-1) },
+		func() { NewErlang(0, 1) },
+		func() { NewUniform(2, 1) },
+		func() { NewHyperExponential([]float64{1}, []float64{1, 2}) },
+		func() { NewHyperExponential([]float64{0, 0}, []float64{1, 2}) },
+		func() { NewHyperExponential([]float64{-1, 2}, []float64{1, 2}) },
+		func() { NewPareto(0, 1) },
+		func() { NewWeibull(1, 0) },
+		func() { NewGeometric(0) },
+		func() { NewDeterministic(-1) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,126 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Exponential is the exponential distribution with rate Lambda (mean
+// 1/Lambda). It is the law assumed for every HAP parameter in the paper's
+// analysis sections.
+type Exponential struct {
+	Lambda float64
+}
+
+// NewExponential returns an exponential distribution with the given rate.
+func NewExponential(rate float64) Exponential {
+	checkPositive("rate", rate)
+	return Exponential{Lambda: rate}
+}
+
+// Sample draws an exponential variate.
+func (e Exponential) Sample(r *rand.Rand) float64 { return r.ExpFloat64() / e.Lambda }
+
+// Mean returns 1/rate.
+func (e Exponential) Mean() float64 { return 1 / e.Lambda }
+
+// Var returns 1/rate².
+func (e Exponential) Var() float64 { return 1 / (e.Lambda * e.Lambda) }
+
+// PDF returns the density λe^{-λt}.
+func (e Exponential) PDF(t float64) float64 {
+	if t < 0 {
+		return 0
+	}
+	return e.Lambda * math.Exp(-e.Lambda*t)
+}
+
+// CDF returns 1 - e^{-λt}.
+func (e Exponential) CDF(t float64) float64 {
+	if t < 0 {
+		return 0
+	}
+	return -math.Expm1(-e.Lambda * t)
+}
+
+// Laplace returns λ/(λ+s).
+func (e Exponential) Laplace(s float64) float64 { return e.Lambda / (e.Lambda + s) }
+
+// Quantile returns -ln(1-p)/λ.
+func (e Exponential) Quantile(p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	return -math.Log1p(-p) / e.Lambda
+}
+
+func (e Exponential) String() string { return fmt.Sprintf("Exp(rate=%g)", e.Lambda) }
+
+// Deterministic is the degenerate distribution concentrated at Value.
+type Deterministic struct {
+	Value float64
+}
+
+// NewDeterministic returns a point mass at v (v >= 0).
+func NewDeterministic(v float64) Deterministic {
+	if v < 0 {
+		panic("dist: deterministic value must be non-negative")
+	}
+	return Deterministic{Value: v}
+}
+
+// Sample returns the constant value.
+func (d Deterministic) Sample(*rand.Rand) float64 { return d.Value }
+
+// Mean returns the constant value.
+func (d Deterministic) Mean() float64 { return d.Value }
+
+// Var returns 0.
+func (d Deterministic) Var() float64 { return 0 }
+
+// Laplace returns e^{-s·v}.
+func (d Deterministic) Laplace(s float64) float64 { return math.Exp(-s * d.Value) }
+
+// Quantile returns the constant value.
+func (d Deterministic) Quantile(float64) float64 { return d.Value }
+
+func (d Deterministic) String() string { return fmt.Sprintf("Det(%g)", d.Value) }
+
+// Uniform is the continuous uniform distribution on [A, B].
+type Uniform struct {
+	A, B float64
+}
+
+// NewUniform returns a uniform distribution on [a, b], 0 <= a < b.
+func NewUniform(a, b float64) Uniform {
+	if a < 0 || b <= a {
+		panic(fmt.Sprintf("dist: invalid uniform bounds [%v,%v]", a, b))
+	}
+	return Uniform{A: a, B: b}
+}
+
+// Sample draws a uniform variate on [A, B].
+func (u Uniform) Sample(r *rand.Rand) float64 { return u.A + (u.B-u.A)*r.Float64() }
+
+// Mean returns (A+B)/2.
+func (u Uniform) Mean() float64 { return (u.A + u.B) / 2 }
+
+// Var returns (B-A)²/12.
+func (u Uniform) Var() float64 { d := u.B - u.A; return d * d / 12 }
+
+// Laplace returns (e^{-sA} - e^{-sB}) / (s(B-A)).
+func (u Uniform) Laplace(s float64) float64 {
+	if s == 0 {
+		return 1
+	}
+	return (math.Exp(-s*u.A) - math.Exp(-s*u.B)) / (s * (u.B - u.A))
+}
+
+// Quantile returns A + p(B-A).
+func (u Uniform) Quantile(p float64) float64 { return u.A + p*(u.B-u.A) }
+
+func (u Uniform) String() string { return fmt.Sprintf("U[%g,%g]", u.A, u.B) }

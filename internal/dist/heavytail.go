@@ -1,0 +1,203 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Pareto is the Pareto (power-law) distribution with scale Xm and shape
+// Alpha: P(T > t) = (Xm/t)^Alpha for t >= Xm. It is included as the
+// heavy-tailed alternative motivated by the trace study the paper cites
+// (Fowler & Leland): later self-similar traffic work showed message sizes
+// and ON periods are better fit by power laws.
+type Pareto struct {
+	Xm    float64
+	Alpha float64
+}
+
+// NewPareto returns a Pareto distribution with scale xm and shape alpha.
+func NewPareto(xm, alpha float64) Pareto {
+	checkPositive("xm", xm)
+	checkPositive("alpha", alpha)
+	return Pareto{Xm: xm, Alpha: alpha}
+}
+
+// Sample draws a Pareto variate by inversion.
+func (p Pareto) Sample(r *rand.Rand) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return p.Xm / math.Pow(u, 1/p.Alpha)
+}
+
+// Mean returns α·xm/(α-1), or +Inf when α <= 1.
+func (p Pareto) Mean() float64 {
+	if p.Alpha <= 1 {
+		return math.Inf(1)
+	}
+	return p.Alpha * p.Xm / (p.Alpha - 1)
+}
+
+// Var returns the variance, or +Inf when α <= 2.
+func (p Pareto) Var() float64 {
+	if p.Alpha <= 2 {
+		return math.Inf(1)
+	}
+	a := p.Alpha
+	return p.Xm * p.Xm * a / ((a - 1) * (a - 1) * (a - 2))
+}
+
+// PDF returns α xm^α / t^{α+1} for t >= xm.
+func (p Pareto) PDF(t float64) float64 {
+	if t < p.Xm {
+		return 0
+	}
+	return p.Alpha * math.Pow(p.Xm, p.Alpha) / math.Pow(t, p.Alpha+1)
+}
+
+// CDF returns 1 - (xm/t)^α.
+func (p Pareto) CDF(t float64) float64 {
+	if t < p.Xm {
+		return 0
+	}
+	return 1 - math.Pow(p.Xm/t, p.Alpha)
+}
+
+// Quantile inverts the CDF.
+func (p Pareto) Quantile(q float64) float64 {
+	if q <= 0 {
+		return p.Xm
+	}
+	if q >= 1 {
+		return math.Inf(1)
+	}
+	return p.Xm / math.Pow(1-q, 1/p.Alpha)
+}
+
+func (p Pareto) String() string { return fmt.Sprintf("Pareto(xm=%g,alpha=%g)", p.Xm, p.Alpha) }
+
+// Weibull is the Weibull distribution with scale Scale and shape Shape.
+// Shape < 1 yields a heavy(ish) tail and bursty interarrivals; Shape = 1
+// reduces to the exponential.
+type Weibull struct {
+	Scale, Shape float64
+}
+
+// NewWeibull returns a Weibull distribution.
+func NewWeibull(scale, shape float64) Weibull {
+	checkPositive("scale", scale)
+	checkPositive("shape", shape)
+	return Weibull{Scale: scale, Shape: shape}
+}
+
+// Sample draws a Weibull variate by inversion.
+func (w Weibull) Sample(r *rand.Rand) float64 {
+	return w.Scale * math.Pow(r.ExpFloat64(), 1/w.Shape)
+}
+
+// Mean returns scale·Γ(1+1/shape).
+func (w Weibull) Mean() float64 { return w.Scale * math.Gamma(1+1/w.Shape) }
+
+// Var returns scale²(Γ(1+2/k) - Γ(1+1/k)²).
+func (w Weibull) Var() float64 {
+	g1 := math.Gamma(1 + 1/w.Shape)
+	g2 := math.Gamma(1 + 2/w.Shape)
+	return w.Scale * w.Scale * (g2 - g1*g1)
+}
+
+// PDF returns the Weibull density.
+func (w Weibull) PDF(t float64) float64 {
+	if t < 0 {
+		return 0
+	}
+	k, c := w.Shape, w.Scale
+	return k / c * math.Pow(t/c, k-1) * math.Exp(-math.Pow(t/c, k))
+}
+
+// CDF returns 1 - e^{-(t/scale)^shape}.
+func (w Weibull) CDF(t float64) float64 {
+	if t < 0 {
+		return 0
+	}
+	return -math.Expm1(-math.Pow(t/w.Scale, w.Shape))
+}
+
+// Quantile inverts the CDF.
+func (w Weibull) Quantile(p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	return w.Scale * math.Pow(-math.Log1p(-p), 1/w.Shape)
+}
+
+func (w Weibull) String() string { return fmt.Sprintf("Weibull(scale=%g,shape=%g)", w.Scale, w.Shape) }
+
+// Lognormal is the log-normal distribution: ln T ~ N(Mu, Sigma²).
+type Lognormal struct {
+	Mu, Sigma float64
+}
+
+// NewLognormal returns a log-normal distribution with the given parameters
+// of the underlying normal.
+func NewLognormal(mu, sigma float64) Lognormal {
+	checkPositive("sigma", sigma)
+	return Lognormal{Mu: mu, Sigma: sigma}
+}
+
+// Sample draws a log-normal variate.
+func (l Lognormal) Sample(r *rand.Rand) float64 {
+	return math.Exp(l.Mu + l.Sigma*r.NormFloat64())
+}
+
+// Mean returns e^{μ+σ²/2}.
+func (l Lognormal) Mean() float64 { return math.Exp(l.Mu + l.Sigma*l.Sigma/2) }
+
+// Var returns (e^{σ²}-1)e^{2μ+σ²}.
+func (l Lognormal) Var() float64 {
+	s2 := l.Sigma * l.Sigma
+	return math.Expm1(s2) * math.Exp(2*l.Mu+s2)
+}
+
+func (l Lognormal) String() string { return fmt.Sprintf("Lognormal(mu=%g,sigma=%g)", l.Mu, l.Sigma) }
+
+// Geometric is the discrete geometric distribution on {1, 2, ...} with
+// success probability P: the number of request/response rounds an HAP-CS
+// exchange lasts when each round continues with probability 1-P.
+type Geometric struct {
+	P float64
+}
+
+// NewGeometric returns a geometric distribution with stop probability p in
+// (0, 1].
+func NewGeometric(p float64) Geometric {
+	if !(p > 0) || p > 1 {
+		panic(fmt.Sprintf("dist: geometric p must be in (0,1], got %v", p))
+	}
+	return Geometric{P: p}
+}
+
+// Sample draws the number of trials up to and including the first success.
+func (g Geometric) Sample(r *rand.Rand) float64 {
+	if g.P == 1 {
+		return 1
+	}
+	// Inversion: ceil(ln U / ln(1-p)).
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return math.Ceil(math.Log(u) / math.Log1p(-g.P))
+}
+
+// Mean returns 1/p.
+func (g Geometric) Mean() float64 { return 1 / g.P }
+
+// Var returns (1-p)/p².
+func (g Geometric) Var() float64 { return (1 - g.P) / (g.P * g.P) }
+
+func (g Geometric) String() string { return fmt.Sprintf("Geom(p=%g)", g.P) }

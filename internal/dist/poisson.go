@@ -1,0 +1,34 @@
+package dist
+
+import "math/rand"
+
+// PoissonSample draws a Poisson(mean) variate. Used to initialise the
+// simulator's user and application populations at their stationary law so
+// runs start warm. Knuth's product method handles small means; larger
+// means are split to avoid exp underflow.
+func PoissonSample(r *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	n := 0
+	// Split large means: Poisson(a+b) = Poisson(a) + Poisson(b).
+	for mean > 20 {
+		n += knuthPoisson(r, 20)
+		mean -= 20
+	}
+	return n + knuthPoisson(r, mean)
+}
+
+func knuthPoisson(r *rand.Rand, mean float64) int {
+	// Product method with the threshold in log space via accumulated sums
+	// of exponentials: N = #{k : Σᵢ≤k Eᵢ < mean} for iid Exp(1) Eᵢ.
+	var sum float64
+	k := 0
+	for {
+		sum += r.ExpFloat64()
+		if sum >= mean {
+			return k
+		}
+		k++
+	}
+}

@@ -1,0 +1,168 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// clampRate maps an arbitrary float to a sane positive rate.
+func clampRate(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 1
+	}
+	r := math.Abs(x)
+	if r < 1e-3 {
+		r += 1e-3
+	}
+	if r > 1e3 {
+		r = math.Mod(r, 1e3) + 1e-3
+	}
+	return r
+}
+
+func clampProb(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0.5
+	}
+	p := math.Abs(math.Mod(x, 1))
+	if p == 0 {
+		p = 0.5
+	}
+	return p
+}
+
+// Property: Laplace transforms are completely monotone on s >= 0 —
+// in particular bounded in (0,1], equal to 1 at s=0 and non-increasing.
+func TestQuickLaplaceProperties(t *testing.T) {
+	f := func(rate, s1, s2 float64) bool {
+		lam := clampRate(rate)
+		a, b := math.Abs(clampRate(s1)), math.Abs(clampRate(s2))
+		if a > b {
+			a, b = b, a
+		}
+		for _, d := range []Laplacer{
+			NewExponential(lam),
+			NewErlang(3, lam),
+			NewHyperExponential([]float64{0.4, 0.6}, []float64{lam, 2 * lam}),
+			NewDeterministic(1 / lam),
+		} {
+			l0, la, lb := d.Laplace(0), d.Laplace(a), d.Laplace(b)
+			if math.Abs(l0-1) > 1e-9 {
+				return false
+			}
+			if la < lb-1e-12 || la > 1+1e-12 || lb < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CDFs are monotone non-decreasing, within [0,1], and the
+// quantile function is a right inverse.
+func TestQuickCDFMonotone(t *testing.T) {
+	f := func(rate, x1, x2, p float64) bool {
+		lam := clampRate(rate)
+		a, b := math.Abs(clampRate(x1)), math.Abs(clampRate(x2))
+		if a > b {
+			a, b = b, a
+		}
+		pp := clampProb(p)
+		for _, d := range []Densitier{
+			NewExponential(lam),
+			NewErlang(2, lam),
+			NewHyperExponential([]float64{0.5, 0.5}, []float64{lam, 3 * lam}),
+			NewPareto(1/lam, 2.5),
+			NewWeibull(1/lam, 0.8),
+		} {
+			ca, cb := d.CDF(a), d.CDF(b)
+			if ca < 0 || cb > 1+1e-12 || ca > cb+1e-12 {
+				return false
+			}
+			if q, ok := d.(Quantiler); ok {
+				if math.Abs(d.CDF(q.Quantile(pp))-pp) > 1e-8 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: samples are non-negative and finite for every distribution.
+func TestQuickSamplesNonNegative(t *testing.T) {
+	f := func(rate float64, seed int64) bool {
+		lam := clampRate(rate)
+		r := rand.New(rand.NewSource(seed))
+		ds := []Distribution{
+			NewExponential(lam),
+			NewErlang(2, lam),
+			NewHyperExponential([]float64{0.2, 0.8}, []float64{lam, 5 * lam}),
+			NewPareto(1/lam, 1.5),
+			NewWeibull(1/lam, 2),
+			NewLognormal(0, 1),
+			NewGeometric(clampProb(rate)),
+			NewUniform(0.1/lam, 1/lam+0.2),
+			NewDeterministic(1 / lam),
+		}
+		for _, d := range ds {
+			for i := 0; i < 20; i++ {
+				v := d.Sample(r)
+				if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: hyperexponential mean/second moment match the mixture formulas
+// regardless of how the weights are scaled.
+func TestQuickHyperExpScaleInvariance(t *testing.T) {
+	f := func(w1, w2, w3, scale float64) bool {
+		ws := []float64{clampRate(w1), clampRate(w2), clampRate(w3)}
+		rates := []float64{0.5, 2, 7}
+		k := clampRate(scale)
+		h1 := NewHyperExponential(ws, rates)
+		scaled := []float64{ws[0] * k, ws[1] * k, ws[2] * k}
+		h2 := NewHyperExponential(scaled, rates)
+		return math.Abs(h1.Mean()-h2.Mean()) < 1e-12 &&
+			math.Abs(h1.SecondMoment()-h2.SecondMoment()) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStreamsIndependentAndReproducible(t *testing.T) {
+	s1 := NewStreams(7)
+	s2 := NewStreams(7)
+	a, b := s1.Next(), s1.Next()
+	c := s2.Next()
+	va, vb, vc := a.Float64(), b.Float64(), c.Float64()
+	if va == vb {
+		t.Error("distinct streams produced identical first values")
+	}
+	if va != vc {
+		t.Error("same-seed streams are not reproducible")
+	}
+	// Nth is independent of Next history.
+	x := NewStreams(7).Nth(3).Float64()
+	s3 := NewStreams(7)
+	s3.Next()
+	if got := s3.Nth(3).Float64(); got != x {
+		t.Error("Nth stream depends on Next() history")
+	}
+}

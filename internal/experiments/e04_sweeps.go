@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"hap/internal/core"
+	"hap/internal/sim"
+	"hap/internal/solver"
+	"hap/internal/trace"
+)
+
+func init() {
+	register(Experiment{ID: "E4", Title: "Figure 11: average delay vs server capacity μ''", Run: runE4})
+	register(Experiment{ID: "E5", Title: "Figure 12: average delay vs message arrival rate", Run: runE5})
+}
+
+// sweepPoint solves one (model, μ”) cell with the exact QBD plus the
+// approximations; the simulation is run only at full-ish scales (it is the
+// costliest column and the QBD already carries the exact value).
+type sweepPoint struct {
+	x       float64
+	exact   float64
+	sol2    float64
+	poisson float64
+	simT    float64
+	rho     float64
+}
+
+// sweepBounds trades a little truncation (λ̄ within ~1%) for per-point
+// speed: the sweeps solve the QBD at every grid cell.
+func sweepBounds(c *Context) (int, int) {
+	if c.scale() >= 0.9 {
+		return 12, 80
+	}
+	if c.scale() >= 0.3 {
+		return 10, 64
+	}
+	return 8, 48
+}
+
+func solveSweepPoint(c *Context, m *core.Model, x float64, withSim bool) (sweepPoint, error) {
+	p := sweepPoint{x: x, simT: -1}
+	bu, ba := sweepBounds(c)
+	exact, err := solver.Solution0MG(m, &solver.Options{MaxUsers: bu, MaxApps: ba})
+	if err != nil {
+		return p, err
+	}
+	s2, err := solver.Solution2(m, nil)
+	if err != nil {
+		return p, err
+	}
+	pois, err := solver.Poisson(m)
+	if err != nil {
+		return p, err
+	}
+	p.exact, p.sol2, p.poisson, p.rho = exact.Delay, s2.Delay, pois.Delay, exact.Rho
+	if withSim {
+		horizon := c.horizon(2e6, 1e5)
+		r := sim.RunHAP(m, sim.Config{Horizon: horizon, Seed: c.Seed + int64(x*1000),
+			Measure: sim.MeasureConfig{Warmup: horizon / 100}})
+		p.simT = r.Meas.MeanDelay()
+	}
+	return p, nil
+}
+
+func runE4(c *Context) (*Result, error) {
+	start := time.Now()
+	res := &Result{ID: "E4", Title: "Figure 11: delay vs server capacity"}
+	// The paper sweeps the server capacity with λ̄ = 8.25 fixed; at
+	// μ'' = 30 the HAP delay is "only 15.22% higher than Poisson's", and
+	// at 64% utilisation (μ'' ≈ 13) it is enormously higher.
+	caps := []float64{13, 15, 17, 20, 24, 30}
+	if c.scale() < 0.3 {
+		caps = []float64{13, 17, 24, 30}
+	}
+	withSim := c.scale() >= 0.3
+	var pts []sweepPoint
+	for _, mu := range caps {
+		m := core.PaperParams(mu)
+		c.printf("E4: μ''=%g (ρ=%.3g)...\n", mu, 8.25/mu)
+		p, err := solveSweepPoint(c, m, mu, withSim)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, p)
+	}
+	xs := make([]float64, len(pts))
+	exact := make([]float64, len(pts))
+	sol2 := make([]float64, len(pts))
+	pois := make([]float64, len(pts))
+	simc := make([]float64, 0, len(pts))
+	for i, p := range pts {
+		xs[i], exact[i], sol2[i], pois[i] = p.x, p.exact, p.sol2, p.poisson
+		if p.simT >= 0 {
+			simc = append(simc, p.simT)
+		}
+	}
+	cols := []trace.Series{
+		{Name: "mu_msg", Values: xs},
+		{Name: "hap_exact", Values: exact},
+		{Name: "hap_sol2", Values: sol2},
+		{Name: "poisson", Values: pois},
+	}
+	if withSim {
+		cols = append(cols, trace.Series{Name: "hap_sim", Values: simc})
+	}
+	if err := c.writeCSV("fig11_delay_vs_capacity", cols...); err != nil {
+		return nil, err
+	}
+	lines := []trace.Line{
+		{Name: "HAP exact", Xs: xs, Ys: exact},
+		{Name: "Poisson", Xs: xs, Ys: pois},
+		{Name: "HAP Sol2", Xs: xs, Ys: sol2},
+	}
+	c.printf("%s", trace.Chart(trace.ChartOptions{
+		Title:  "Figure 11 — mean delay vs server capacity (λ̄ = 8.25)",
+		XLabel: "μ'' (messages/s)", YLabel: "delay", LogY: true,
+	}, lines...))
+
+	// Shape checks: monotone gap growth as capacity shrinks.
+	lowRatio := pts[0].exact / pts[0].poisson                    // ρ ≈ 0.64
+	highRatio := pts[len(pts)-1].exact / pts[len(pts)-1].poisson // μ''=30
+	res.addRow("ratio at μ''=30", "1.15×", fmt.Sprintf("%.3f×", highRatio),
+		boolVerdict(highRatio < 2.0 && highRatio > 1.0, "near-Poisson at low load"))
+	res.addRow("ratio at ρ≈0.64", "≈200×", fmt.Sprintf("%.1f×", lowRatio),
+		boolVerdict(lowRatio > 5*highRatio, "ratio explodes with load"))
+	mono := true
+	for i := 1; i < len(pts); i++ {
+		if pts[i].exact/pts[i].poisson > pts[i-1].exact/pts[i-1].poisson {
+			mono = false
+		}
+	}
+	res.addRow("HAP/Poisson gap grows as capacity shrinks", "yes", fmt.Sprintf("%v", mono),
+		boolVerdict(mono, "shape"))
+	res.setValue("ratioLow", lowRatio)
+	res.setValue("ratioHigh", highRatio)
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+func runE5(c *Context) (*Result, error) {
+	start := time.Now()
+	res := &Result{ID: "E5", Title: "Figure 12: delay vs arrival rate (μ''=17)"}
+	// The paper varies the load by changing λ with the capacity fixed.
+	factors := []float64{0.7, 0.85, 1.0, 1.1, 1.2, 1.3}
+	if c.scale() < 0.3 {
+		factors = []float64{0.7, 1.0, 1.3}
+	}
+	base := core.PaperParams(17)
+	var xs, exact, sol2, pois []float64
+	for _, f := range factors {
+		m := base.Scale(core.LevelUser, f)
+		c.printf("E5: λ̄=%.3g (ρ=%.3g)...\n", m.MeanRate(), m.MeanRate()/17)
+		p, err := solveSweepPoint(c, m, m.MeanRate(), false)
+		if err != nil {
+			return nil, err
+		}
+		xs = append(xs, p.x)
+		exact = append(exact, p.exact)
+		sol2 = append(sol2, p.sol2)
+		pois = append(pois, p.poisson)
+	}
+	if err := c.writeCSV("fig12_delay_vs_rate",
+		trace.Series{Name: "lambda_bar", Values: xs},
+		trace.Series{Name: "hap_exact", Values: exact},
+		trace.Series{Name: "hap_sol2", Values: sol2},
+		trace.Series{Name: "poisson", Values: pois}); err != nil {
+		return nil, err
+	}
+	c.printf("%s", trace.Chart(trace.ChartOptions{
+		Title:  "Figure 12 — mean delay vs message arrival rate (μ'' = 17)",
+		XLabel: "λ̄ (messages/s)", YLabel: "delay", LogY: true,
+	},
+		trace.Line{Name: "HAP exact", Xs: xs, Ys: exact},
+		trace.Line{Name: "Poisson", Xs: xs, Ys: pois}))
+
+	first := exact[0] / pois[0]
+	last := exact[len(exact)-1] / pois[len(pois)-1]
+	res.addRow("HAP/Poisson ratio grows with λ̄", "yes", fmt.Sprintf("%.2f× → %.2f×", first, last),
+		boolVerdict(last > first, "shape"))
+	res.addRow("HAP delay convex in λ̄", "yes (explodes near saturation)",
+		fmt.Sprintf("T(max λ̄)=%.3g", exact[len(exact)-1]),
+		boolVerdict(exact[len(exact)-1] > 2.5*exact[0], "shape"))
+	res.setValue("ratioFirst", first)
+	res.setValue("ratioLast", last)
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,289 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"hap/internal/core"
+	"hap/internal/sim"
+	"hap/internal/stats"
+	"hap/internal/trace"
+)
+
+func init() {
+	register(Experiment{ID: "E6", Title: "Figure 13: fluctuation of the running mean delay", Run: runE6})
+	register(Experiment{ID: "E7", Title: "Figure 14: queue length over a one-hour interval", Run: runE7})
+	register(Experiment{ID: "E8", Title: "Figure 15: the peak busy period", Run: runE8})
+	register(Experiment{ID: "E9", Title: "Figures 16–17: users/applications in the peak busy period", Run: runE9})
+	register(Experiment{ID: "E10", Title: "Figure 18: busy/idle periods, HAP vs Poisson", Run: runE10})
+}
+
+func runE6(c *Context) (*Result, error) {
+	start := time.Now()
+	res := &Result{ID: "E6", Title: "Figure 13: running mean fluctuation"}
+	horizon := c.horizon(8e6, 4e5)
+	every := int64(horizon * 8.25 / 400) // ~400 checkpoints
+	if every < 100 {
+		every = 100
+	}
+	m := core.PaperParams(17)
+	c.printf("E6: HAP run over %g s...\n", horizon)
+	hap := sim.RunHAP(m, sim.Config{Horizon: horizon, Seed: c.Seed + 6,
+		Measure: sim.MeasureConfig{RunningMeanEvery: every}})
+	c.printf("E6: Poisson run over %g s...\n", horizon)
+	pois := sim.RunPoisson(8.25, 17, sim.Config{Horizon: horizon, Seed: c.Seed + 6,
+		Measure: sim.MeasureConfig{RunningMeanEvery: every}})
+
+	if err := c.writeCSV("fig13_running_mean",
+		trace.Series{Name: "hap_n", Values: hap.Meas.Running.Xs},
+		trace.Series{Name: "hap_mean_delay", Values: hap.Meas.Running.Ys},
+		trace.Series{Name: "poisson_n", Values: pois.Meas.Running.Xs},
+		trace.Series{Name: "poisson_mean_delay", Values: pois.Meas.Running.Ys}); err != nil {
+		return nil, err
+	}
+	c.printf("%s", trace.Chart(trace.ChartOptions{
+		Title:  "Figure 13 — running mean delay (HAP keeps fluctuating)",
+		XLabel: "messages completed", YLabel: "running mean delay",
+	},
+		trace.Line{Name: "HAP", Xs: hap.Meas.Running.Xs, Ys: hap.Meas.Running.Ys},
+		trace.Line{Name: "Poisson", Xs: pois.Meas.Running.Xs, Ys: pois.Meas.Running.Ys}))
+
+	skip := len(hap.Meas.Running.Ys) / 10
+	hapSpan := hap.Meas.Running.FluctuationSpan(skip)
+	poisSpan := pois.Meas.Running.FluctuationSpan(skip)
+	res.addRow("running-mean span (HAP)", "large, hard to converge", fnum(hapSpan), "")
+	res.addRow("running-mean span (Poisson)", "settles quickly", fnum(poisSpan), "")
+	res.addRow("HAP span / Poisson span", "≫ 1", fmt.Sprintf("%.1f×", hapSpan/poisSpan),
+		boolVerdict(hapSpan > 3*poisSpan, "HAP converges far slower"))
+	res.setValue("hapSpan", hapSpan)
+	res.setValue("poisSpan", poisSpan)
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// mountainRun is the shared long simulation behind Figures 14–17: queue
+// trace, population trace and retained busy periods from one run.
+type mountainRun struct {
+	res     *sim.RunResult
+	horizon float64
+}
+
+var (
+	mountainMu    sync.Mutex
+	mountainCache map[string]*mountainRun
+)
+
+func sharedMountainRun(c *Context) *mountainRun {
+	mountainMu.Lock()
+	defer mountainMu.Unlock()
+	key := fmt.Sprintf("%v/%d", c.scale(), c.Seed)
+	if mountainCache == nil {
+		mountainCache = map[string]*mountainRun{}
+	}
+	if r, ok := mountainCache[key]; ok {
+		return r
+	}
+	horizon := c.horizon(3e6, 3e5)
+	c.printf("E7–E9: shared HAP run over %g s (μ''=17), tracing queue and populations...\n", horizon)
+	m := core.PaperParams(17)
+	r := sim.RunHAP(m, sim.Config{Horizon: horizon, Seed: c.Seed + 7,
+		Measure: sim.MeasureConfig{
+			TrackBusy: true, KeepBusyPeriods: true, MaxBusyRetained: 1 << 21,
+			QueueTraceInterval: 5, PopTraceInterval: 20,
+		}})
+	run := &mountainRun{res: r, horizon: horizon}
+	mountainCache[key] = run
+	return run
+}
+
+// window extracts the [lo, hi] time slice of a queue trace.
+func window(tr []sim.TracePoint, lo, hi float64) (xs, ys []float64) {
+	for _, p := range tr {
+		if p.T >= lo && p.T <= hi {
+			xs = append(xs, p.T)
+			ys = append(ys, p.V)
+		}
+	}
+	return xs, ys
+}
+
+func runE7(c *Context) (*Result, error) {
+	start := time.Now()
+	res := &Result{ID: "E7", Title: "Figure 14: one-hour queue trace"}
+	run := sharedMountainRun(c)
+	// Pick the hour around the tallest point of the whole trace.
+	var peakT, peakV float64
+	for _, p := range run.res.Meas.QueueTrace {
+		if p.V > peakV {
+			peakV, peakT = p.V, p.T
+		}
+	}
+	lo, hi := peakT-1800, peakT+1800
+	if lo < 0 {
+		lo, hi = 0, 3600
+	}
+	xs, ys := window(run.res.Meas.QueueTrace, lo, hi)
+	dx, dy := trace.Downsample(xs, ys, 600)
+	if err := c.writeCSV("fig14_hour_queue_trace",
+		trace.Series{Name: "t", Values: dx},
+		trace.Series{Name: "queue_len", Values: dy}); err != nil {
+		return nil, err
+	}
+	c.printf("%s", trace.Chart(trace.ChartOptions{
+		Title:  "Figure 14 — messages in queue over the busiest hour",
+		XLabel: "time (s)", YLabel: "queue length",
+	}, trace.Line{Name: "queue", Xs: dx, Ys: dy}))
+
+	res.addRow("mountains visible in one hour", "several", fmt.Sprintf("peak %g in window", peakV),
+		boolVerdict(peakV > 20, "congestion episodes present"))
+	res.addRow("mean queue (whole run)", "(low between mountains)", fnum(run.res.Meas.MeanQueue()), "")
+	res.setValue("hourPeak", peakV)
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+func runE8(c *Context) (*Result, error) {
+	start := time.Now()
+	res := &Result{ID: "E8", Title: "Figure 15: peak busy period"}
+	run := sharedMountainRun(c)
+	bt := &run.res.Meas.Busy
+	longest, tallest := bt.Peak()
+	// Trace the queue across the longest mountain.
+	pad := longest.Length() * 0.15
+	xs, ys := window(run.res.Meas.QueueTrace, longest.Start-pad, longest.End+pad)
+	dx, dy := trace.Downsample(xs, ys, 600)
+	if err := c.writeCSV("fig15_peak_busy_period",
+		trace.Series{Name: "t", Values: dx},
+		trace.Series{Name: "queue_len", Values: dy}); err != nil {
+		return nil, err
+	}
+	c.printf("%s", trace.Chart(trace.ChartOptions{
+		Title:  "Figure 15 — the peak busy period",
+		XLabel: "time (s)", YLabel: "queue length",
+	}, trace.Line{Name: "queue", Xs: dx, Ys: dy}))
+
+	// Paper (much longer run): peak > 17,000 messages lasting ~80 min;
+	// Poisson peak only 29. Shapes, scaled to our horizon: order thousands
+	// at full scale.
+	res.addRow("tallest mountain height", ">17000 (their horizon)",
+		fmt.Sprintf("%d", tallest.Height),
+		boolVerdict(float64(tallest.Height) > 100*c.scale(), "extreme congestion"))
+	res.addRow("longest mountain duration", "≈80 min", fmt.Sprintf("%.1f min", longest.Length()/60),
+		boolVerdict(longest.Length() > 60, "persists for minutes"))
+	res.addRow("mountains recorded", "many", fmt.Sprintf("%d", bt.Mountains()), "")
+	res.setValue("peakHeight", float64(tallest.Height))
+	res.setValue("peakMinutes", longest.Length()/60)
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+func runE9(c *Context) (*Result, error) {
+	start := time.Now()
+	res := &Result{ID: "E9", Title: "Figures 16–17: populations at the peak"}
+	run := sharedMountainRun(c)
+	longest, _ := run.res.Meas.Busy.Peak()
+	pad := longest.Length() * 0.15
+	var xs, users, apps []float64
+	for _, p := range run.res.Meas.PopTrace {
+		if p.T >= longest.Start-pad && p.T <= longest.End+pad {
+			xs = append(xs, p.T)
+			users = append(users, float64(p.Users))
+			apps = append(apps, float64(p.Apps))
+		}
+	}
+	if err := c.writeCSV("fig16_17_populations_at_peak",
+		trace.Series{Name: "t", Values: xs},
+		trace.Series{Name: "users", Values: users},
+		trace.Series{Name: "apps", Values: apps}); err != nil {
+		return nil, err
+	}
+	c.printf("%s", trace.Chart(trace.ChartOptions{
+		Title:  "Figures 16–17 — users and applications through the peak busy period",
+		XLabel: "time (s)", YLabel: "population",
+	},
+		trace.Line{Name: "users", Xs: xs, Ys: users},
+		trace.Line{Name: "apps", Xs: xs, Ys: apps}))
+
+	// Populations at the onset of the mountain versus the long-run means
+	// (5.5 users / 27.5 applications): the paper saw 13 and 49.
+	var onsetUsers, onsetApps float64
+	for _, p := range run.res.Meas.PopTrace {
+		if p.T >= longest.Start {
+			onsetUsers, onsetApps = float64(p.Users), float64(p.Apps)
+			break
+		}
+	}
+	// Mean over the mountain.
+	var mu, ma stats.Welford
+	for i := range xs {
+		mu.Add(users[i])
+		ma.Add(apps[i])
+	}
+	res.addRow("users at mountain onset", "13 (mean 5.5)", fnum(onsetUsers),
+		boolVerdict(onsetUsers > 5.5, "elevated"))
+	res.addRow("applications at mountain onset", "49 (mean 27.5)", fnum(onsetApps),
+		boolVerdict(onsetApps > 27.5, "elevated"))
+	res.addRow("mean users during mountain", "> 5.5", fnum(mu.Mean()),
+		boolVerdict(mu.Mean() > 5.5, "elevated"))
+	res.addRow("mean apps during mountain", "> 27.5", fnum(ma.Mean()),
+		boolVerdict(ma.Mean() > 27.5, "elevated"))
+	res.setValue("onsetUsers", onsetUsers)
+	res.setValue("onsetApps", onsetApps)
+	res.setValue("meanUsersPeak", mu.Mean())
+	res.setValue("meanAppsPeak", ma.Mean())
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+func runE10(c *Context) (*Result, error) {
+	start := time.Now()
+	res := &Result{ID: "E10", Title: "Figure 18: busy/idle statistics"}
+	// The Figure 18 table uses μ(message) = 15, i.e. ρ = 0.55.
+	horizon := c.horizon(3e6, 3e5)
+	m := core.PaperParams(15)
+	c.printf("E10: HAP run over %g s (μ''=15)...\n", horizon)
+	hap := sim.RunHAP(m, sim.Config{Horizon: horizon, Seed: c.Seed + 10,
+		Measure: sim.MeasureConfig{TrackBusy: true}})
+	c.printf("E10: Poisson run over %g s...\n", horizon)
+	pois := sim.RunPoisson(8.25, 15, sim.Config{Horizon: horizon, Seed: c.Seed + 10,
+		Measure: sim.MeasureConfig{TrackBusy: true}})
+
+	hb, pb := &hap.Meas.Busy, &pois.Meas.Busy
+	busyVarRatio := hb.Busy.Var() / pb.Busy.Var()
+	idleVarRatio := hb.Idle.Var() / pb.Idle.Var()
+	heightVarRatio := hb.Height.Var() / pb.Height.Var()
+	mountainDeficit := 1 - float64(hb.Mountains())/float64(pb.Mountains())
+
+	if err := c.writeCSV("fig18_busy_idle_table",
+		trace.Series{Name: "hap_busy_mean_var", Values: []float64{hb.Busy.Mean(), hb.Busy.Var()}},
+		trace.Series{Name: "hap_idle_mean_var", Values: []float64{hb.Idle.Mean(), hb.Idle.Var()}},
+		trace.Series{Name: "hap_height_mean_var", Values: []float64{hb.Height.Mean(), hb.Height.Var()}},
+		trace.Series{Name: "poisson_busy_mean_var", Values: []float64{pb.Busy.Mean(), pb.Busy.Var()}},
+		trace.Series{Name: "poisson_idle_mean_var", Values: []float64{pb.Idle.Mean(), pb.Idle.Var()}},
+		trace.Series{Name: "poisson_height_mean_var", Values: []float64{pb.Height.Mean(), pb.Height.Var()}}); err != nil {
+		return nil, err
+	}
+
+	res.addRow("busy fraction HAP", "≈55%", fmt.Sprintf("%.1f%%", 100*hb.BusyFraction()),
+		verdictClose(hb.BusyFraction(), 0.55, 0.06))
+	res.addRow("busy fraction Poisson", "≈55%", fmt.Sprintf("%.1f%%", 100*pb.BusyFraction()),
+		verdictClose(pb.BusyFraction(), 0.55, 0.06))
+	res.addRow("busy-period variance ratio", "618×", fmt.Sprintf("%.0f×", busyVarRatio),
+		boolVerdict(busyVarRatio > 20, "orders of magnitude"))
+	res.addRow("idle-period variance ratio", "15×", fmt.Sprintf("%.1f×", idleVarRatio),
+		boolVerdict(idleVarRatio > 2, "HAP idles burstier"))
+	res.addRow("height variance ratio", "66×", fmt.Sprintf("%.0f×", heightVarRatio),
+		boolVerdict(heightVarRatio > 10, "HAP mountains taller"))
+	res.addRow("HAP has fewer mountains", "19% fewer", fmt.Sprintf("%.1f%% fewer", 100*mountainDeficit),
+		boolVerdict(mountainDeficit > 0.02, "fewer, longer periods"))
+	res.addRow("HAP busy mean vs Poisson", "slightly higher",
+		fmt.Sprintf("%.3g vs %.3g", hb.Busy.Mean(), pb.Busy.Mean()),
+		boolVerdict(hb.Busy.Mean() > pb.Busy.Mean(), "shape"))
+	res.setValue("busyVarRatio", busyVarRatio)
+	res.setValue("idleVarRatio", idleVarRatio)
+	res.setValue("heightVarRatio", heightVarRatio)
+	res.setValue("mountainDeficit", mountainDeficit)
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

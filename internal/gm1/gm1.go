@@ -1,0 +1,206 @@
+// Package gm1 solves the G/M/1 queue that Solutions 1 and 2 reduce HAP/M/1
+// to: given the Laplace transform A*(s) of the interarrival time and the
+// exponential service rate μ, the root σ of
+//
+//	σ = A*(μ − μσ),  0 < σ < 1
+//
+// determines everything: mean delay T = 1/(μ(1−σ)), waiting-time CDF
+// W(y) = 1 − σe^{−μ(1−σ)y}, and mean queue length λ̄T by Little.
+//
+// Two σ solvers are provided: the paper's averaging iteration
+// ("σ-Algorithm": replace σ with the average of A*(μ−μσ) and σ until they
+// agree) and a safeguarded bisection on the fixed-point residual, used as
+// the robust default and as the ablation baseline.
+package gm1
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"hap/internal/quad"
+)
+
+// Laplace is the Laplace–Stieltjes transform A*(s) of an interarrival
+// distribution, defined for s >= 0 with A*(0) = 1.
+type Laplace func(s float64) float64
+
+// Result summarises a solved G/M/1 queue.
+type Result struct {
+	Sigma      float64 // probability an arrival finds the server busy
+	Delay      float64 // mean sojourn time T = 1/(μ(1−σ))
+	Wait       float64 // mean waiting time σ/(μ(1−σ))
+	QueueLen   float64 // mean number in system λ̄·T (Little)
+	Rho        float64 // utilisation λ̄/μ
+	Lambda     float64 // arrival rate used for Little's result
+	Mu         float64 // service rate
+	Iterations int     // σ-solver iterations
+}
+
+// WaitingCDF returns P(wait <= y) = 1 − σe^{−μ(1−σ)y}.
+func (r Result) WaitingCDF(y float64) float64 {
+	if y < 0 {
+		return 0
+	}
+	return 1 - r.Sigma*math.Exp(-r.Mu*(1-r.Sigma)*y)
+}
+
+// WaitingQuantile returns the p-quantile of the waiting time (0 when the
+// p-mass is covered by the zero-wait atom 1−σ).
+func (r Result) WaitingQuantile(p float64) float64 {
+	if p <= 1-r.Sigma {
+		return 0
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	return -math.Log((1-p)/r.Sigma) / (r.Mu * (1 - r.Sigma))
+}
+
+// ErrUnstable reports λ̄ >= μ.
+var ErrUnstable = errors.New("gm1: queue is unstable (rho >= 1)")
+
+// Options tunes the σ solvers.
+type Options struct {
+	Tol     float64 // |A*(μ−μσ) − σ| tolerance (default 1e-10)
+	MaxIter int     // iteration budget (default 10000)
+	Method  Method  // solver choice (default MethodBisect)
+}
+
+// Method selects a σ solver.
+type Method int
+
+// Available σ solvers.
+const (
+	// MethodBisect brackets the fixed point and bisects g(σ)−σ; it is
+	// guaranteed to converge for any valid Laplace transform.
+	MethodBisect Method = iota
+	// MethodPaper is the averaging iteration from Section 3.2.2:
+	// σ ← (A*(μ−μσ) + σ)/2 starting from 0.5.
+	MethodPaper
+)
+
+func (m Method) String() string {
+	switch m {
+	case MethodBisect:
+		return "bisect"
+	case MethodPaper:
+		return "paper-averaging"
+	}
+	return "unknown"
+}
+
+// Solve computes the G/M/1 queue for interarrival transform a, arrival
+// rate lambda (for Little's result) and service rate mu.
+func Solve(a Laplace, lambda, mu float64, opts *Options) (Result, error) {
+	if lambda <= 0 || mu <= 0 {
+		return Result{}, fmt.Errorf("gm1: rates must be positive (λ=%v, μ=%v)", lambda, mu)
+	}
+	rho := lambda / mu
+	if rho >= 1 {
+		return Result{Rho: rho, Lambda: lambda, Mu: mu}, ErrUnstable
+	}
+	o := Options{Tol: 1e-10, MaxIter: 10000}
+	if opts != nil {
+		if opts.Tol > 0 {
+			o.Tol = opts.Tol
+		}
+		if opts.MaxIter > 0 {
+			o.MaxIter = opts.MaxIter
+		}
+		o.Method = opts.Method
+	}
+	g := func(sig float64) float64 { return a(mu - mu*sig) }
+	var sigma float64
+	var iters int
+	var err error
+	switch o.Method {
+	case MethodPaper:
+		sigma, iters, err = quad.FixedPoint(g, 0.5, 0.5, o.Tol, o.MaxIter)
+		if err != nil {
+			return Result{}, fmt.Errorf("gm1: paper σ-algorithm: %w", err)
+		}
+	default:
+		sigma, iters, err = bisectSigma(g, o.Tol, o.MaxIter)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	if sigma >= 1 {
+		sigma = 1 - 1e-12
+	}
+	if sigma < 0 {
+		sigma = 0
+	}
+	res := Result{
+		Sigma:      sigma,
+		Delay:      1 / (mu * (1 - sigma)),
+		Wait:       sigma / (mu * (1 - sigma)),
+		Rho:        rho,
+		Lambda:     lambda,
+		Mu:         mu,
+		Iterations: iters,
+	}
+	res.QueueLen = lambda * res.Delay
+	return res, nil
+}
+
+// bisectSigma finds the non-trivial root of h(σ) = A*(μ−μσ) − σ in (0,1).
+// h(1) = 0 always (A*(0) = 1); stability guarantees a root below 1, with
+// h(0) = A*(μ) > 0, so h goes positive→negative→0; we bisect on a bracket
+// found by scanning down from 1.
+func bisectSigma(g func(float64) float64, tol float64, maxIter int) (float64, int, error) {
+	h := func(s float64) float64 { return g(s) - s }
+	// Scan for a point where h < 0 (between the root and 1).
+	var hi float64 = -1
+	for _, probe := range []float64{0.999, 0.99, 0.9, 0.7, 0.5, 0.3, 0.1, 0.01} {
+		if h(probe) < 0 {
+			hi = probe
+		}
+	}
+	if hi < 0 {
+		// No strictly negative point found: σ is extremely close to 1 or
+		// the transform is degenerate; refine near 1.
+		hi = 1 - 1e-9
+		if h(hi) >= 0 {
+			return 0, 0, errors.New("gm1: could not bracket sigma")
+		}
+	}
+	root, err := quad.Bisect(h, 0, hi, tol)
+	if err != nil {
+		return 0, 0, fmt.Errorf("gm1: bisect: %w", err)
+	}
+	return root, 0, nil
+}
+
+// MM1 returns the closed-form M/M/1 result (the Poisson baseline).
+func MM1(lambda, mu float64) (Result, error) {
+	if lambda >= mu {
+		return Result{Rho: lambda / mu, Lambda: lambda, Mu: mu}, ErrUnstable
+	}
+	rho := lambda / mu
+	return Result{
+		Sigma:    rho, // PASTA: arrivals see time averages
+		Delay:    1 / (mu - lambda),
+		Wait:     rho / (mu - lambda),
+		QueueLen: rho / (1 - rho),
+		Rho:      rho,
+		Lambda:   lambda,
+		Mu:       mu,
+	}, nil
+}
+
+// MD1Delay returns the mean sojourn time of the M/D/1 queue by
+// Pollaczek–Khinchine with deterministic service (SCV 0), an extra
+// baseline for the discussion sections.
+func MD1Delay(lambda, mu float64) float64 {
+	rho := lambda / mu
+	return 1/mu + rho/(2*mu*(1-rho))
+}
+
+// MG1Delay returns the Pollaczek–Khinchine mean sojourn time for general
+// service with the given squared coefficient of variation.
+func MG1Delay(lambda, mu, scv float64) float64 {
+	rho := lambda / mu
+	return 1/mu + rho*(1+scv)/(2*mu*(1-rho))
+}

@@ -1,0 +1,217 @@
+// Package linalg provides the small dense linear-algebra kernel the
+// matrix-geometric HAP/M/1 solver needs: row-major matrices, a
+// cache-friendly multiply, LU factorisation with partial pivoting, and
+// left/right linear solves. Go has no linear-algebra standard library;
+// these routines are deliberately minimal, allocation-conscious and fully
+// tested against closed-form cases rather than general-purpose.
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dense is a row-major n×m matrix.
+type Dense struct {
+	R, C int
+	A    []float64
+}
+
+// NewDense allocates an n×m zero matrix.
+func NewDense(n, m int) *Dense {
+	if n <= 0 || m <= 0 {
+		panic(fmt.Sprintf("linalg: invalid shape %dx%d", n, m))
+	}
+	return &Dense{R: n, C: m, A: make([]float64, n*m)}
+}
+
+// Eye returns the n×n identity.
+func Eye(n int) *Dense {
+	d := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		d.A[i*n+i] = 1
+	}
+	return d
+}
+
+// At returns element (i, j).
+func (d *Dense) At(i, j int) float64 { return d.A[i*d.C+j] }
+
+// Set assigns element (i, j).
+func (d *Dense) Set(i, j int, v float64) { d.A[i*d.C+j] = v }
+
+// Row returns row i as a live slice.
+func (d *Dense) Row(i int) []float64 { return d.A[i*d.C : (i+1)*d.C] }
+
+// Clone returns a deep copy.
+func (d *Dense) Clone() *Dense {
+	out := NewDense(d.R, d.C)
+	copy(out.A, d.A)
+	return out
+}
+
+// Copy overwrites d with src (shapes must match).
+func (d *Dense) Copy(src *Dense) {
+	if d.R != src.R || d.C != src.C {
+		panic("linalg: Copy shape mismatch")
+	}
+	copy(d.A, src.A)
+}
+
+// Zero clears the matrix.
+func (d *Dense) Zero() {
+	for i := range d.A {
+		d.A[i] = 0
+	}
+}
+
+// Mul computes dst = a·b. dst must not alias a or b; it is resized
+// implicitly by panic if shapes mismatch. The kernel uses ikj order so the
+// inner loop streams both b and dst rows.
+func Mul(dst, a, b *Dense) {
+	if a.C != b.R || dst.R != a.R || dst.C != b.C {
+		panic("linalg: Mul shape mismatch")
+	}
+	if dst == a || dst == b {
+		panic("linalg: Mul aliasing")
+	}
+	dst.Zero()
+	n, k, m := a.R, a.C, b.C
+	for i := 0; i < n; i++ {
+		arow := a.A[i*k : (i+1)*k]
+		drow := dst.A[i*m : (i+1)*m]
+		for kk := 0; kk < k; kk++ {
+			aik := arow[kk]
+			if aik == 0 {
+				continue
+			}
+			brow := b.A[kk*m : (kk+1)*m]
+			for j, bv := range brow {
+				drow[j] += aik * bv
+			}
+		}
+	}
+}
+
+// MulAdd computes dst += a·b with the same constraints as Mul.
+func MulAdd(dst, a, b *Dense) {
+	if a.C != b.R || dst.R != a.R || dst.C != b.C {
+		panic("linalg: MulAdd shape mismatch")
+	}
+	if dst == a || dst == b {
+		panic("linalg: MulAdd aliasing")
+	}
+	n, k, m := a.R, a.C, b.C
+	for i := 0; i < n; i++ {
+		arow := a.A[i*k : (i+1)*k]
+		drow := dst.A[i*m : (i+1)*m]
+		for kk := 0; kk < k; kk++ {
+			aik := arow[kk]
+			if aik == 0 {
+				continue
+			}
+			brow := b.A[kk*m : (kk+1)*m]
+			for j, bv := range brow {
+				drow[j] += aik * bv
+			}
+		}
+	}
+}
+
+// Add computes dst = a + b (dst may alias a or b).
+func Add(dst, a, b *Dense) {
+	if a.R != b.R || a.C != b.C || dst.R != a.R || dst.C != a.C {
+		panic("linalg: Add shape mismatch")
+	}
+	for i := range dst.A {
+		dst.A[i] = a.A[i] + b.A[i]
+	}
+}
+
+// Sub computes dst = a − b (dst may alias a or b).
+func Sub(dst, a, b *Dense) {
+	if a.R != b.R || a.C != b.C || dst.R != a.R || dst.C != a.C {
+		panic("linalg: Sub shape mismatch")
+	}
+	for i := range dst.A {
+		dst.A[i] = a.A[i] - b.A[i]
+	}
+}
+
+// Scale multiplies every element by s in place.
+func (d *Dense) Scale(s float64) {
+	for i := range d.A {
+		d.A[i] *= s
+	}
+}
+
+// MaxAbs returns max |aᵢⱼ|.
+func (d *Dense) MaxAbs() float64 {
+	var m float64
+	for _, v := range d.A {
+		if av := math.Abs(v); av > m {
+			m = av
+		}
+	}
+	return m
+}
+
+// RowSums returns the vector of row sums.
+func (d *Dense) RowSums() []float64 {
+	out := make([]float64, d.R)
+	for i := 0; i < d.R; i++ {
+		var s float64
+		for _, v := range d.Row(i) {
+			s += v
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// VecMat computes out = v·m for a row vector v (len = m.R).
+func VecMat(v []float64, m *Dense) []float64 {
+	if len(v) != m.R {
+		panic("linalg: VecMat shape mismatch")
+	}
+	out := make([]float64, m.C)
+	for i, vi := range v {
+		if vi == 0 {
+			continue
+		}
+		row := m.Row(i)
+		for j, mv := range row {
+			out[j] += vi * mv
+		}
+	}
+	return out
+}
+
+// MatVec computes out = m·v for a column vector v (len = m.C).
+func MatVec(m *Dense, v []float64) []float64 {
+	if len(v) != m.C {
+		panic("linalg: MatVec shape mismatch")
+	}
+	out := make([]float64, m.R)
+	for i := 0; i < m.R; i++ {
+		row := m.Row(i)
+		var s float64
+		for j, mv := range row {
+			s += mv * v[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("linalg: Dot length mismatch")
+	}
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

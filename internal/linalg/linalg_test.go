@@ -1,0 +1,252 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func wantClose(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (tol %v)", name, got, want, tol)
+	}
+}
+
+func randMat(r *rand.Rand, n, m int) *Dense {
+	d := NewDense(n, m)
+	for i := range d.A {
+		d.A[i] = r.NormFloat64()
+	}
+	return d
+}
+
+func TestMulSmallKnown(t *testing.T) {
+	a := NewDense(2, 3)
+	copy(a.A, []float64{1, 2, 3, 4, 5, 6})
+	b := NewDense(3, 2)
+	copy(b.A, []float64{7, 8, 9, 10, 11, 12})
+	c := NewDense(2, 2)
+	Mul(c, a, b)
+	want := []float64{58, 64, 139, 154}
+	for i, w := range want {
+		wantClose(t, "c", c.A[i], w, 1e-12)
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	a := randMat(r, 7, 7)
+	c := NewDense(7, 7)
+	Mul(c, a, Eye(7))
+	for i := range a.A {
+		wantClose(t, "aI", c.A[i], a.A[i], 1e-14)
+	}
+	Mul(c, Eye(7), a)
+	for i := range a.A {
+		wantClose(t, "Ia", c.A[i], a.A[i], 1e-14)
+	}
+}
+
+func TestMulAddAccumulates(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	a, b := randMat(r, 5, 6), randMat(r, 6, 4)
+	c1 := NewDense(5, 4)
+	Mul(c1, a, b)
+	c2 := NewDense(5, 4)
+	MulAdd(c2, a, b)
+	MulAdd(c2, a, b)
+	for i := range c1.A {
+		wantClose(t, "2ab", c2.A[i], 2*c1.A[i], 1e-12)
+	}
+}
+
+func TestMulAliasPanics(t *testing.T) {
+	a := Eye(3)
+	defer func() {
+		if recover() == nil {
+			t.Error("aliasing must panic")
+		}
+	}()
+	Mul(a, a, Eye(3))
+}
+
+func TestAddSubScale(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	a, b := randMat(r, 4, 4), randMat(r, 4, 4)
+	c := NewDense(4, 4)
+	Add(c, a, b)
+	Sub(c, c, b)
+	for i := range a.A {
+		wantClose(t, "a+b-b", c.A[i], a.A[i], 1e-12)
+	}
+	c.Scale(2)
+	for i := range a.A {
+		wantClose(t, "2a", c.A[i], 2*a.A[i], 1e-12)
+	}
+}
+
+func TestLUSolveVec(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	n := 20
+	a := randMat(r, n, n)
+	for i := 0; i < n; i++ { // diagonally dominant → well conditioned
+		a.Set(i, i, a.At(i, i)+float64(n))
+	}
+	xTrue := make([]float64, n)
+	for i := range xTrue {
+		xTrue[i] = r.NormFloat64()
+	}
+	b := MatVec(a, xTrue)
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := f.SolveVec(b)
+	for i := range x {
+		wantClose(t, "x", x[i], xTrue[i], 1e-9)
+	}
+}
+
+func TestLUSolveMatrixAndInverse(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	n := 15
+	a := randMat(r, n, n)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+float64(n))
+	}
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv := f.Inverse()
+	prod := NewDense(n, n)
+	Mul(prod, a, inv)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			wantClose(t, "A·A⁻¹", prod.At(i, j), want, 1e-9)
+		}
+	}
+}
+
+func TestLUSolveRight(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	n := 12
+	a := randMat(r, n, n)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+float64(n))
+	}
+	xTrue := randMat(r, 5, n)
+	b := NewDense(5, n)
+	Mul(b, xTrue, a)
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := f.SolveRight(b)
+	for i := range x.A {
+		wantClose(t, "XA=B", x.A[i], xTrue.A[i], 1e-8)
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := NewDense(3, 3)
+	copy(a.A, []float64{1, 2, 3, 2, 4, 6, 1, 0, 1}) // row2 = 2·row1
+	if _, err := Factor(a); err == nil {
+		t.Error("expected ErrSingular")
+	}
+}
+
+func TestLUDet(t *testing.T) {
+	a := NewDense(2, 2)
+	copy(a.A, []float64{3, 1, 4, 2}) // det = 2
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantClose(t, "det", f.Det(), 2, 1e-12)
+}
+
+func TestVecMatAndMatVec(t *testing.T) {
+	a := NewDense(2, 3)
+	copy(a.A, []float64{1, 2, 3, 4, 5, 6})
+	v := VecMat([]float64{1, 2}, a) // [9, 12, 15]
+	for i, w := range []float64{9, 12, 15} {
+		wantClose(t, "vM", v[i], w, 1e-12)
+	}
+	u := MatVec(a, []float64{1, 1, 1}) // [6, 15]
+	for i, w := range []float64{6, 15} {
+		wantClose(t, "Mv", u[i], w, 1e-12)
+	}
+	wantClose(t, "dot", Dot([]float64{1, 2, 3}, []float64{4, 5, 6}), 32, 1e-12)
+}
+
+func TestRowSumsAndMaxAbs(t *testing.T) {
+	a := NewDense(2, 2)
+	copy(a.A, []float64{1, -5, 2, 3})
+	rs := a.RowSums()
+	wantClose(t, "rs0", rs[0], -4, 1e-12)
+	wantClose(t, "rs1", rs[1], 5, 1e-12)
+	wantClose(t, "maxabs", a.MaxAbs(), 5, 1e-12)
+}
+
+// Property: (AB)C == A(BC) on random small matrices.
+func TestQuickMulAssociative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randMat(r, 4, 5), randMat(r, 5, 3), randMat(r, 3, 6)
+		ab := NewDense(4, 3)
+		Mul(ab, a, b)
+		abc1 := NewDense(4, 6)
+		Mul(abc1, ab, c)
+		bc := NewDense(5, 6)
+		Mul(bc, b, c)
+		abc2 := NewDense(4, 6)
+		Mul(abc2, a, bc)
+		for i := range abc1.A {
+			if math.Abs(abc1.A[i]-abc2.A[i]) > 1e-10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Solve then multiply returns the right-hand side.
+func TestQuickLURoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + int(uint(seed)%8)
+		a := randMat(r, n, n)
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(2*n))
+		}
+		lu, err := Factor(a)
+		if err != nil {
+			return false
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		x := lu.SolveVec(b)
+		back := MatVec(a, x)
+		for i := range b {
+			if math.Abs(back[i]-b[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

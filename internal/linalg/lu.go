@@ -1,0 +1,210 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular reports a numerically singular factorisation.
+var ErrSingular = errors.New("linalg: matrix is singular")
+
+// LU holds an LU factorisation with partial pivoting: P·A = L·U.
+type LU struct {
+	lu   *Dense
+	piv  []int
+	sign int
+}
+
+// Factor computes the LU factorisation of the square matrix a (which is
+// copied, not modified).
+func Factor(a *Dense) (*LU, error) {
+	if a.R != a.C {
+		return nil, errors.New("linalg: LU needs a square matrix")
+	}
+	n := a.R
+	lu := a.Clone()
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	sign := 1
+	for col := 0; col < n; col++ {
+		// Pivot search.
+		p := col
+		max := math.Abs(lu.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(lu.At(r, col)); v > max {
+				max, p = v, r
+			}
+		}
+		if max == 0 {
+			return nil, ErrSingular
+		}
+		if p != col {
+			rp, rc := lu.Row(p), lu.Row(col)
+			for j := range rp {
+				rp[j], rc[j] = rc[j], rp[j]
+			}
+			piv[p], piv[col] = piv[col], piv[p]
+			sign = -sign
+		}
+		d := lu.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := lu.At(r, col) / d
+			lu.Set(r, col, f)
+			if f == 0 {
+				continue
+			}
+			rr := lu.Row(r)
+			rc := lu.Row(col)
+			for j := col + 1; j < n; j++ {
+				rr[j] -= f * rc[j]
+			}
+		}
+	}
+	return &LU{lu: lu, piv: piv, sign: sign}, nil
+}
+
+// SolveVec solves A·x = b, returning x.
+func (f *LU) SolveVec(b []float64) []float64 {
+	n := f.lu.R
+	if len(b) != n {
+		panic("linalg: SolveVec length mismatch")
+	}
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	// Forward substitution (L has implicit unit diagonal).
+	for i := 1; i < n; i++ {
+		row := f.lu.Row(i)
+		var s float64
+		for j := 0; j < i; j++ {
+			s += row[j] * x[j]
+		}
+		x[i] -= s
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		row := f.lu.Row(i)
+		var s float64
+		for j := i + 1; j < n; j++ {
+			s += row[j] * x[j]
+		}
+		x[i] = (x[i] - s) / row[i]
+	}
+	return x
+}
+
+// Solve computes X solving A·X = B (column-wise solves). B is not
+// modified.
+func (f *LU) Solve(b *Dense) *Dense {
+	n := f.lu.R
+	if b.R != n {
+		panic("linalg: Solve shape mismatch")
+	}
+	x := NewDense(n, b.C)
+	// Apply row pivots of A to B's rows.
+	for i := 0; i < n; i++ {
+		copy(x.Row(i), b.Row(f.piv[i]))
+	}
+	// Forward substitution on all columns at once (row-major friendly).
+	for i := 1; i < n; i++ {
+		lrow := f.lu.Row(i)
+		xi := x.Row(i)
+		for j := 0; j < i; j++ {
+			l := lrow[j]
+			if l == 0 {
+				continue
+			}
+			xj := x.Row(j)
+			for c := range xi {
+				xi[c] -= l * xj[c]
+			}
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		urow := f.lu.Row(i)
+		xi := x.Row(i)
+		for j := i + 1; j < n; j++ {
+			u := urow[j]
+			if u == 0 {
+				continue
+			}
+			xj := x.Row(j)
+			for c := range xi {
+				xi[c] -= u * xj[c]
+			}
+		}
+		d := urow[i]
+		for c := range xi {
+			xi[c] /= d
+		}
+	}
+	return x
+}
+
+// SolveRight computes X solving X·A = B, i.e. Xᵀ from Aᵀ·Xᵀ = Bᵀ. B is
+// not modified.
+func (f *LU) SolveRight(b *Dense) *Dense {
+	// X A = B  ⇔  Aᵀ Xᵀ = Bᵀ. Rather than transpose twice, solve row by
+	// row: each row of X satisfies row·A = brow, i.e. Aᵀ·rowᵀ = browᵀ.
+	// Reuse the same LU by noting it factors A, not Aᵀ, so build a
+	// transposed solve explicitly.
+	n := f.lu.R
+	if b.C != n {
+		panic("linalg: SolveRight shape mismatch")
+	}
+	x := NewDense(b.R, n)
+	for r := 0; r < b.R; r++ {
+		copy(x.Row(r), f.solveVecT(b.Row(r)))
+	}
+	return x
+}
+
+// solveVecT solves Aᵀ·y = b using the LU of A: Aᵀ = Uᵀ·Lᵀ·P, so solve
+// Uᵀ·w = b (forward), Lᵀ·v = w (backward), y = Pᵀ·v.
+func (f *LU) solveVecT(b []float64) []float64 {
+	n := f.lu.R
+	w := make([]float64, n)
+	copy(w, b)
+	// Uᵀ is lower triangular with U's diagonal.
+	for i := 0; i < n; i++ {
+		var s float64
+		for j := 0; j < i; j++ {
+			s += f.lu.At(j, i) * w[j]
+		}
+		w[i] = (w[i] - s) / f.lu.At(i, i)
+	}
+	// Lᵀ is upper triangular with unit diagonal.
+	for i := n - 1; i >= 0; i-- {
+		var s float64
+		for j := i + 1; j < n; j++ {
+			s += f.lu.At(j, i) * w[j]
+		}
+		w[i] -= s
+	}
+	// Undo pivoting: w holds v indexed by pivoted rows of A.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		y[f.piv[i]] = w[i]
+	}
+	return y
+}
+
+// SolveVecLeft solves the row-vector system x·A = b, i.e. Aᵀ·xᵀ = bᵀ.
+func (f *LU) SolveVecLeft(b []float64) []float64 { return f.solveVecT(b) }
+
+// Inverse returns A⁻¹.
+func (f *LU) Inverse() *Dense {
+	return f.Solve(Eye(f.lu.R))
+}
+
+// Det returns the determinant.
+func (f *LU) Det() float64 {
+	d := float64(f.sign)
+	for i := 0; i < f.lu.R; i++ {
+		d *= f.lu.At(i, i)
+	}
+	return d
+}

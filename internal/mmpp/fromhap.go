@@ -1,0 +1,183 @@
+package mmpp
+
+import (
+	"fmt"
+	"math"
+
+	"hap/internal/core"
+	"hap/internal/markov"
+)
+
+// FromHAP builds the full (l+1)-dimensional modulating chain of Figure 6,
+// truncated at maxUsers user instances and maxAppsPerType[i] instances of
+// application type i. Transitions connect neighbouring states only:
+//
+//	x → x+1 at λ          x → x−1 at x·μ
+//	yᵢ → yᵢ+1 at x·λᵢ     yᵢ → yᵢ−1 at yᵢ·μᵢ
+//
+// and the state's Poisson rate is Σᵢ yᵢ·Λᵢ. The state space is
+// (maxUsers+1)·Πᵢ(maxAppsPerType[i]+1); keep the bounds small for models
+// with many types (the paper's own Solution 0 needed two weeks on the
+// symmetric reduction).
+func FromHAP(m *core.Model, maxUsers int, maxAppsPerType []int) (*MMPP, *markov.Lattice, error) {
+	if err := m.Validate(); err != nil {
+		return nil, nil, err
+	}
+	l := len(m.Apps)
+	if len(maxAppsPerType) != l {
+		return nil, nil, fmt.Errorf("mmpp: need %d app bounds, got %d", l, len(maxAppsPerType))
+	}
+	dims := make([]int, l+1)
+	dims[0] = maxUsers + 1
+	for i, b := range maxAppsPerType {
+		if b < 1 || maxUsers < 1 {
+			return nil, nil, fmt.Errorf("mmpp: bounds must be >= 1")
+		}
+		dims[i+1] = b + 1
+	}
+	lat := markov.NewLattice(dims...)
+	chain := markov.NewChain(lat.N())
+	rates := make([]float64, lat.N())
+	bigLambda := make([]float64, l)
+	for i, a := range m.Apps {
+		bigLambda[i] = a.TotalMessageRate()
+	}
+	coords := make([]int, l+1)
+	for s := 0; s < lat.N(); s++ {
+		lat.Coords(s, coords)
+		x := coords[0]
+		// User arrivals and departures.
+		if to, ok := lat.Shift(s, 0, +1); ok {
+			chain.Add(s, to, m.Lambda)
+		}
+		if to, ok := lat.Shift(s, 0, -1); ok {
+			chain.Add(s, to, float64(x)*m.Mu)
+		}
+		var rate float64
+		for i := 0; i < l; i++ {
+			yi := coords[i+1]
+			if to, ok := lat.Shift(s, i+1, +1); ok && x > 0 {
+				chain.Add(s, to, float64(x)*m.Apps[i].Lambda)
+			}
+			if to, ok := lat.Shift(s, i+1, -1); ok {
+				chain.Add(s, to, float64(yi)*m.Apps[i].Mu)
+			}
+			rate += float64(yi) * bigLambda[i]
+		}
+		rates[s] = rate
+	}
+	return New(chain, rates), lat, nil
+}
+
+// FromHAPSimplified builds the 2-dimensional (x, y) chain of Figure 7 for
+// a symmetric model: y is the total application count, applications arrive
+// at x·l·λ' and depart at y·μ', and the state rate is y·m·λ”.
+func FromHAPSimplified(m *core.Model, maxUsers, maxApps int) (*MMPP, *markov.Lattice, error) {
+	if err := m.Validate(); err != nil {
+		return nil, nil, err
+	}
+	ok, lambdaApp, muApp, lambdaMsg, fanout := m.Symmetric()
+	if !ok {
+		return nil, nil, fmt.Errorf("mmpp: simplified chain requires a symmetric model")
+	}
+	if maxUsers < 1 || maxApps < 1 {
+		return nil, nil, fmt.Errorf("mmpp: bounds must be >= 1")
+	}
+	l := float64(len(m.Apps))
+	perApp := float64(fanout) * lambdaMsg
+	lat := markov.NewLattice(maxUsers+1, maxApps+1)
+	chain := markov.NewChain(lat.N())
+	rates := make([]float64, lat.N())
+	for s := 0; s < lat.N(); s++ {
+		x, y := lat.At(s, 0), lat.At(s, 1)
+		if to, ok := lat.Shift(s, 0, +1); ok {
+			chain.Add(s, to, m.Lambda)
+		}
+		if to, ok := lat.Shift(s, 0, -1); ok {
+			chain.Add(s, to, float64(x)*m.Mu)
+		}
+		if to, ok := lat.Shift(s, 1, +1); ok && x > 0 {
+			chain.Add(s, to, float64(x)*l*lambdaApp)
+		}
+		if to, ok := lat.Shift(s, 1, -1); ok {
+			chain.Add(s, to, float64(y)*muApp)
+		}
+		rates[s] = float64(y) * perApp
+	}
+	return New(chain, rates), lat, nil
+}
+
+// DefaultBounds suggests truncation bounds for a symmetric model: mean +
+// k standard deviations at each level, floored at 8. k = 8 keeps the
+// truncated stationary mass loss well below the solver tolerances for the
+// paper's parameters.
+func DefaultBounds(m *core.Model, k float64) (maxUsers, maxApps int) {
+	if k <= 0 {
+		k = 8
+	}
+	nu := m.Nu()
+	maxUsers = boundFor(nu, math.Sqrt(nu), k)
+	if ok, _, _, _, _ := m.Symmetric(); ok {
+		// Exact marginal moments of the total application count.
+		var la float64
+		for i := range m.Apps {
+			la += m.AppLoad(i)
+		}
+		maxApps = boundFor(nu*la, math.Sqrt(StationaryAppVariance(m)), k)
+		return maxUsers, maxApps
+	}
+	// Asymmetric fallback: app population conditional on a high user count.
+	var totApps float64
+	for i := range m.Apps {
+		totApps += m.AppLoad(i)
+	}
+	yTop := float64(maxUsers) * totApps
+	maxApps = boundFor(yTop, math.Sqrt(math.Max(yTop, 1)), k)
+	return maxUsers, maxApps
+}
+
+func boundFor(mean, std float64, k float64) int {
+	b := int(math.Ceil(mean + k*math.Max(std, 1)))
+	if b < 8 {
+		b = 8
+	}
+	return b
+}
+
+// FitFromHAP moment-matches the 2-state comparator to a symmetric HAP:
+// mean rate and rate variance come from the stationary populations and the
+// correlation time is the application lifetime 1/μ', the dominant
+// modulation scale. The exact stationary application-count variance of the
+// two-level cascade is
+//
+//	Var(y) = ν·l·a' + (l·a')²·ν·μ'/(μ+μ')
+//
+// (the second term is the user-modulation contribution, low-pass filtered
+// by the application time constant; as μ' ≫ μ it approaches the
+// conditional-equilibrium value ν·l·a'(1+l·a')).
+func FitFromHAP(m *core.Model) (MMPP2, error) {
+	ok, lambdaApp, muApp, lambdaMsg, fanout := m.Symmetric()
+	if !ok {
+		return MMPP2{}, fmt.Errorf("mmpp: fit requires a symmetric model")
+	}
+	nu := m.Nu()
+	la := float64(len(m.Apps)) * lambdaApp / muApp // l·a'
+	perApp := float64(fanout) * lambdaMsg
+	meanY := nu * la
+	varY := StationaryAppVariance(m)
+	_ = meanY
+	return FitMMPP2(perApp*meanY, perApp*perApp*varY, 1/muApp)
+}
+
+// StationaryAppVariance returns the exact stationary variance of the total
+// application count of a symmetric model,
+// ν·l·a' + (l·a')²·ν·μ'/(μ+μ'). It panics on asymmetric models.
+func StationaryAppVariance(m *core.Model) float64 {
+	ok, lambdaApp, muApp, _, _ := m.Symmetric()
+	if !ok {
+		panic("mmpp: StationaryAppVariance requires a symmetric model")
+	}
+	nu := m.Nu()
+	la := float64(len(m.Apps)) * lambdaApp / muApp
+	return nu*la + la*la*nu*muApp/(m.Mu+muApp)
+}

@@ -1,0 +1,173 @@
+package netgen
+
+import (
+	"context"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"hap/internal/core"
+)
+
+func TestPacketRoundTrip(t *testing.T) {
+	p := Packet{Seq: 42, SendUnix: 123456789, Class: 3, PadLen: 16}
+	b := p.Encode(nil)
+	if len(b) != HeaderSize+16 {
+		t.Fatalf("encoded length %d", len(b))
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != p {
+		t.Errorf("roundtrip: %+v != %+v", got, p)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode([]byte{1, 2, 3}); err == nil {
+		t.Error("short packet accepted")
+	}
+	b := Packet{Seq: 1}.Encode(nil)
+	b[0] = 0xFF // corrupt magic
+	if _, err := Decode(b); err == nil {
+		t.Error("bad magic accepted")
+	}
+	b2 := Packet{Seq: 1, PadLen: 4}.Encode(nil)
+	if _, err := Decode(b2[:len(b2)-1]); err == nil {
+		t.Error("truncated padding accepted")
+	}
+}
+
+func TestQuickPacketRoundTrip(t *testing.T) {
+	f := func(seq uint64, ts int64, class uint32, pad uint8) bool {
+		p := Packet{Seq: seq, SendUnix: ts, Class: class, PadLen: uint32(pad)}
+		got, err := Decode(p.Encode(nil))
+		return err == nil && got == p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenerateHAPSchedule(t *testing.T) {
+	m := core.PaperParams(20)
+	s, err := GenerateHAP(m, 2000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.MeanRate()-8.25)/8.25 > 0.25 {
+		t.Errorf("schedule rate = %v, want ≈ 8.25", s.MeanRate())
+	}
+	// Arrival times must be sorted and within the horizon.
+	prev := 0.0
+	for _, a := range s.Arrivals {
+		if a.T < prev || a.T > s.Horizon {
+			t.Fatalf("bad arrival time %v (prev %v)", a.T, prev)
+		}
+		prev = a.T
+	}
+}
+
+func TestGeneratePoissonSchedule(t *testing.T) {
+	s, err := GeneratePoisson(50, 1000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.MeanRate()-50)/50 > 0.05 {
+		t.Errorf("rate = %v", s.MeanRate())
+	}
+	if _, err := GeneratePoisson(-1, 10, 1); err == nil {
+		t.Error("negative rate accepted")
+	}
+}
+
+func TestGenerateOnOffSchedule(t *testing.T) {
+	tl := core.NewOnOff(0.5, 0.1, 10, 100)
+	s, err := GenerateOnOff(tl, 2000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.MeanRate()-50)/50 > 0.2 {
+		t.Errorf("rate = %v, want ≈ 50", s.MeanRate())
+	}
+}
+
+func TestSendReceiveLoopback(t *testing.T) {
+	sink, err := NewSink("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+
+	s, err := GeneratePoisson(200, 5, 11) // ~1000 packets of model time 5 s
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	done := make(chan SinkStats, 1)
+	go func() {
+		st, err := sink.Collect(ctx, len(s.Arrivals), 2*time.Second)
+		if err != nil {
+			t.Errorf("collect: %v", err)
+		}
+		done <- st
+	}()
+
+	// Compress 5 model seconds into ~50 ms of wall time.
+	sendStats, err := Send(ctx, sink.Addr(), s, SenderConfig{Compression: 100, PayloadPad: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := <-done
+	if sendStats.Sent != len(s.Arrivals) {
+		t.Errorf("sent %d of %d", sendStats.Sent, len(s.Arrivals))
+	}
+	// Loopback UDP may drop under burst; accept minor loss.
+	if st.Received < sendStats.Sent*9/10 {
+		t.Errorf("received %d of %d", st.Received, sendStats.Sent)
+	}
+	if st.BytesTotal < int64(st.Received*(HeaderSize+32)) {
+		t.Errorf("byte count %d too small", st.BytesTotal)
+	}
+	if st.MeanIA <= 0 {
+		t.Error("no interarrival measured")
+	}
+}
+
+func TestSendCancelled(t *testing.T) {
+	sink, err := NewSink("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+	s, _ := GeneratePoisson(10, 100, 1) // 100 model seconds
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // immediately
+	_, err = Send(ctx, sink.Addr(), s, SenderConfig{Compression: 1})
+	if err == nil {
+		t.Error("cancelled send should report the context error")
+	}
+}
+
+func TestSinkIdleTimeout(t *testing.T) {
+	sink, err := NewSink("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+	start := time.Now()
+	st, err := sink.Collect(context.Background(), 10, 200*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Received != 0 {
+		t.Error("received ghost packets")
+	}
+	if time.Since(start) > 3*time.Second {
+		t.Error("idle timeout did not fire promptly")
+	}
+}

@@ -1,0 +1,123 @@
+package netgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"hap/internal/stats"
+)
+
+// SinkStats summarises what a sink measured.
+type SinkStats struct {
+	Received   int
+	Lost       int     // sequence gaps
+	Reordered  int     // sequence regressions
+	MeanIA     float64 // seconds between datagrams at the receiver
+	SCV        float64 // interarrival squared coefficient of variation
+	IDC        float64 // index of dispersion at the window below
+	IDCWindow  float64
+	FirstSeq   uint64
+	LastSeq    uint64
+	Elapsed    time.Duration
+	BytesTotal int64
+}
+
+// Sink receives hapgen datagrams on a UDP socket and measures the arrival
+// process.
+type Sink struct {
+	conn *net.UDPConn
+}
+
+// NewSink listens on addr ("127.0.0.1:0" picks a free port).
+func NewSink(addr string) (*Sink, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netgen: resolve %s: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, fmt.Errorf("netgen: listen %s: %w", addr, err)
+	}
+	return &Sink{conn: conn}, nil
+}
+
+// Addr returns the bound address (with the concrete port).
+func (s *Sink) Addr() string { return s.conn.LocalAddr().String() }
+
+// Close releases the socket.
+func (s *Sink) Close() error { return s.conn.Close() }
+
+// Collect reads until expect packets arrived, the idle timeout passes with
+// nothing received, or ctx is cancelled. idle <= 0 defaults to one second.
+func (s *Sink) Collect(ctx context.Context, expect int, idle time.Duration) (SinkStats, error) {
+	if idle <= 0 {
+		idle = time.Second
+	}
+	var (
+		st        SinkStats
+		iaWelford stats.Welford
+		times     []float64
+		lastRecv  time.Time
+		lastSeq   uint64
+		haveSeq   bool
+	)
+	buf := make([]byte, 65536)
+	start := time.Now()
+	for expect <= 0 || st.Received < expect {
+		deadline := time.Now().Add(idle)
+		if dl, ok := ctx.Deadline(); ok && dl.Before(deadline) {
+			deadline = dl
+		}
+		if err := s.conn.SetReadDeadline(deadline); err != nil {
+			return st, err
+		}
+		n, _, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				break // idle: the sender is done
+			}
+			if errors.Is(err, net.ErrClosed) {
+				break
+			}
+			return st, err
+		}
+		pkt, err := Decode(buf[:n])
+		if err != nil {
+			continue // ignore foreign datagrams
+		}
+		now := time.Now()
+		st.BytesTotal += int64(n)
+		if st.Received == 0 {
+			st.FirstSeq = pkt.Seq
+		} else {
+			iaWelford.Add(now.Sub(lastRecv).Seconds())
+			switch {
+			case pkt.Seq > lastSeq+1:
+				st.Lost += int(pkt.Seq - lastSeq - 1)
+			case pkt.Seq <= lastSeq && haveSeq:
+				st.Reordered++
+			}
+		}
+		times = append(times, now.Sub(start).Seconds())
+		lastRecv = now
+		lastSeq = pkt.Seq
+		haveSeq = true
+		st.LastSeq = pkt.Seq
+		st.Received++
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	st.Elapsed = time.Since(start)
+	st.MeanIA = iaWelford.Mean()
+	st.SCV = iaWelford.SCV()
+	if len(times) > 10 {
+		st.IDCWindow = (times[len(times)-1] - times[0]) / 20
+		st.IDC = stats.IDC(times, st.IDCWindow)
+	}
+	return st, nil
+}

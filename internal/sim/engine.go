@@ -1,0 +1,251 @@
+// Package sim is the discrete-event simulator for HAP and its baseline
+// traffic models feeding a single-server FIFO queue — the experimental
+// apparatus behind the paper's Figures 11–18. Sources (HAP, HAP-CS,
+// Poisson, ON-OFF, MMPP) generate message arrivals; the exponential server
+// drains them; measurement hooks record delays, queue-length and
+// population traces, busy periods ("mountains") and running means.
+//
+// The engine is deterministic for a fixed seed: ties in event time are
+// broken by schedule order.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hap/internal/dist"
+)
+
+// event is one scheduled occurrence. fire runs with the engine clock set.
+type event struct {
+	t    float64
+	seq  uint64
+	fire func()
+}
+
+// eventHeap is a hand-rolled binary min-heap ordered by (t, seq). Avoiding
+// container/heap's interface boxing saves one allocation per event, which
+// matters at 10⁷–10⁸ events per run.
+type eventHeap []event
+
+func (h eventHeap) less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	hh := *h
+	i := len(hh) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !hh.less(i, parent) {
+			break
+		}
+		hh[i], hh[parent] = hh[parent], hh[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	hh := *h
+	top := hh[0]
+	n := len(hh) - 1
+	hh[0] = hh[n]
+	hh[n] = event{} // release the closure for GC
+	*h = hh[:n]
+	hh = *h
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && hh.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && hh.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		hh[i], hh[smallest] = hh[smallest], hh[i]
+		i = smallest
+	}
+	return top
+}
+
+// message is one queued message.
+type message struct {
+	arrival float64
+	svc     dist.Distribution
+	class   int // message class index for per-class stats
+}
+
+// Engine is the simulation core: clock, future event list, and the single
+// exponential (or general) server queue.
+type Engine struct {
+	now    float64
+	seq    uint64
+	events eventHeap
+
+	// FIFO queue as a sliding window: queue[qhead] is in service when
+	// busy. The head index avoids O(n) shifts during long busy periods
+	// (mountains reach O(10⁴) messages).
+	queue   []message
+	qhead   int
+	busy    bool
+	rng     *rand.Rand // service-time stream
+	horizon float64
+
+	meas *Measurements
+
+	// Populations maintained by sources for tracing.
+	users int
+	apps  int
+
+	arrivals   int64
+	departures int64
+	maxEvents  int64
+	processed  int64
+
+	// served, when set, is invoked after each service completion with the
+	// message class; the HAP-CS source uses it to trigger responses.
+	served func(class int)
+}
+
+// NewEngine creates an engine running to the given simulated horizon,
+// with the supplied service-time random stream.
+func NewEngine(horizon float64, rng *rand.Rand, meas *Measurements) *Engine {
+	if horizon <= 0 {
+		panic("sim: horizon must be positive")
+	}
+	e := &Engine{horizon: horizon, rng: rng, meas: meas, maxEvents: 1 << 62}
+	if meas == nil {
+		e.meas = NewMeasurements(MeasureConfig{})
+	}
+	return e
+}
+
+// Now returns the simulation clock.
+func (e *Engine) Now() float64 { return e.now }
+
+// Schedule enqueues fire to run at absolute time t (>= Now). Events beyond
+// the horizon are still queued; Run stops at the horizon regardless.
+func (e *Engine) Schedule(t float64, fire func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling into the past (%v < %v)", t, e.now))
+	}
+	e.seq++
+	e.events.push(event{t: t, seq: e.seq, fire: fire})
+}
+
+// ScheduleAfter enqueues fire after a delay.
+func (e *Engine) ScheduleAfter(d float64, fire func()) { e.Schedule(e.now+d, fire) }
+
+// Run processes events until the horizon or event budget is exhausted.
+func (e *Engine) Run() {
+	e.meas.start(e.now, e.QueueLen(), e.users, e.apps)
+	for len(e.events) > 0 && e.processed < e.maxEvents {
+		ev := e.events.pop()
+		if ev.t > e.horizon {
+			e.now = e.horizon
+			break
+		}
+		e.now = ev.t
+		ev.fire()
+		e.processed++
+	}
+	e.meas.finish(e.now, e.QueueLen())
+}
+
+// SetMaxEvents bounds the number of processed events (safety valve for
+// open-ended sources).
+func (e *Engine) SetMaxEvents(n int64) { e.maxEvents = n }
+
+// Processed returns the number of events fired.
+func (e *Engine) Processed() int64 { return e.processed }
+
+// Arrivals returns the number of messages that entered the queue.
+func (e *Engine) Arrivals() int64 { return e.arrivals }
+
+// Departures returns the number of completed services.
+func (e *Engine) Departures() int64 { return e.departures }
+
+// QueueLen returns the current number in system.
+func (e *Engine) QueueLen() int { return len(e.queue) - e.qhead }
+
+// ArriveMessage delivers a message with the given service-time law to the
+// queue at the current clock.
+func (e *Engine) ArriveMessage(svc dist.Distribution, class int) {
+	e.arrivals++
+	m := message{arrival: e.now, svc: svc, class: class}
+	e.queue = append(e.queue, m)
+	e.meas.onArrival(e.now, e.QueueLen(), class)
+	if !e.busy {
+		e.startService()
+	}
+}
+
+func (e *Engine) startService() {
+	e.busy = true
+	svcTime := e.queue[e.qhead].svc.Sample(e.rng)
+	e.Schedule(e.now+svcTime, e.completeService)
+}
+
+func (e *Engine) completeService() {
+	m := e.queue[e.qhead]
+	e.queue[e.qhead] = message{} // release for GC
+	e.qhead++
+	// Compact once the dead prefix dominates.
+	if e.qhead > 64 && e.qhead*2 > len(e.queue) {
+		n := copy(e.queue, e.queue[e.qhead:])
+		e.queue = e.queue[:n]
+		e.qhead = 0
+	}
+	e.departures++
+	e.meas.onDeparture(e.now, e.now-m.arrival, e.QueueLen(), m.class)
+	if e.served != nil {
+		e.served(m.class)
+	}
+	if e.QueueLen() > 0 {
+		e.startService()
+	} else {
+		e.busy = false
+	}
+}
+
+// SetServedHook registers a callback fired after every service completion
+// (before the next service starts). Sources that react to completions —
+// request/response exchanges — use this.
+func (e *Engine) SetServedHook(f func(class int)) { e.served = f }
+
+// SetUsers records the current user population (called by sources).
+func (e *Engine) SetUsers(n int) {
+	e.users = n
+	e.meas.onPopulation(e.now, e.users, e.apps)
+}
+
+// SetApps records the current application population (called by sources).
+func (e *Engine) SetApps(n int) {
+	e.apps = n
+	e.meas.onPopulation(e.now, e.users, e.apps)
+}
+
+// Users returns the current user population.
+func (e *Engine) Users() int { return e.users }
+
+// Apps returns the current application population.
+func (e *Engine) Apps() int { return e.apps }
+
+// Measurements exposes the collected statistics.
+func (e *Engine) Measurements() *Measurements { return e.meas }
+
+// Source generates traffic into an engine.
+type Source interface {
+	// Install schedules the source's initial events.
+	Install(e *Engine)
+	// String describes the source for reports.
+	String() string
+}

@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"math"
+	"time"
+
+	"hap/internal/core"
+	"hap/internal/dist"
+	"hap/internal/stats"
+)
+
+// Config drives a single simulation run.
+type Config struct {
+	// Horizon is the simulated time to cover (same unit as the model's
+	// rates — seconds for the paper's parameters).
+	Horizon float64
+	// Seed makes the run reproducible.
+	Seed int64
+	// MaxEvents caps the event count (0 = unlimited).
+	MaxEvents int64
+	// Measure selects the statistics to collect.
+	Measure MeasureConfig
+}
+
+// RunResult is a completed run.
+type RunResult struct {
+	Meas       *Measurements
+	Arrivals   int64
+	Departures int64
+	Events     int64
+	Elapsed    time.Duration
+	Source     string
+}
+
+// Run executes one simulation of the given source.
+func Run(src Source, cfg Config) *RunResult {
+	start := time.Now()
+	streams := dist.NewStreams(cfg.Seed)
+	meas := NewMeasurements(cfg.Measure)
+	e := NewEngine(cfg.Horizon, streams.Next(), meas)
+	if cfg.MaxEvents > 0 {
+		e.SetMaxEvents(cfg.MaxEvents)
+	}
+	src.Install(e)
+	e.Run()
+	return &RunResult{
+		Meas:       meas,
+		Arrivals:   e.Arrivals(),
+		Departures: e.Departures(),
+		Events:     e.Processed(),
+		Elapsed:    time.Since(start),
+		Source:     src.String(),
+	}
+}
+
+// RunHAP simulates the model; the source stream is derived from the seed.
+func RunHAP(m *core.Model, cfg Config) *RunResult {
+	streams := dist.NewStreams(cfg.Seed + 1)
+	src := NewHAPSource(m, streams.Next())
+	if cfg.Measure.ClassCount == 0 {
+		cfg.Measure.ClassCount = src.ClassCount()
+	}
+	return Run(src, cfg)
+}
+
+// RunPoisson simulates the equal-rate Poisson baseline with exp(muMsg)
+// service.
+func RunPoisson(rate, muMsg float64, cfg Config) *RunResult {
+	streams := dist.NewStreams(cfg.Seed + 1)
+	src := NewPoissonSource(rate, dist.NewExponential(muMsg), streams.Next())
+	return Run(src, cfg)
+}
+
+// RunOnOff simulates the 2-level HAP / ON-OFF model.
+func RunOnOff(tl *core.TwoLevel, cfg Config) *RunResult {
+	streams := dist.NewStreams(cfg.Seed + 1)
+	return Run(NewOnOffSource(tl, streams.Next()), cfg)
+}
+
+// RunCS simulates the client-server model.
+func RunCS(m *core.CSModel, cfg Config) *RunResult {
+	streams := dist.NewStreams(cfg.Seed + 1)
+	src := NewCSSource(m, streams.Next())
+	if cfg.Measure.ClassCount == 0 {
+		cfg.Measure.ClassCount = src.ClassCount()
+	}
+	return Run(src, cfg)
+}
+
+// Replications runs n independent replications (seeds seed+1..seed+n) of
+// whatever run produces a scalar metric, returning the across-replication
+// Welford and a ~95% half width.
+func Replications(n int, seed int64, run func(seed int64) float64) (stats.Welford, float64) {
+	var w stats.Welford
+	for i := 1; i <= n; i++ {
+		w.Add(run(seed + int64(i)))
+	}
+	hw := 0.0
+	if n >= 2 {
+		hw = 1.96 * w.Std() / math.Sqrt(float64(n))
+	}
+	return w, hw
+}

@@ -1,0 +1,168 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hap/internal/core"
+	"hap/internal/dist"
+)
+
+// CSSource simulates HAP-CS (Section 2.2): the hierarchy spawns
+// exchange-opening *requests*; when a request finishes service it triggers
+// a *response* with probability PResp, and a served response triggers the
+// next request of the exchange with probability PNext — the rlogin
+// command/result ping-pong. Requests and responses share the single
+// queue; classes are numbered 2k (request) and 2k+1 (response) for
+// message type k in declaration order.
+type CSSource struct {
+	Model           *core.CSModel
+	StartStationary bool
+	// ThinkTime, when non-nil, delays each triggered message by a sampled
+	// think/turnaround time (zero by default: the remote party reacts
+	// immediately).
+	ThinkTime dist.Distribution
+
+	rng     *rand.Rand
+	e       *Engine
+	svcReq  []dist.Distribution
+	svcResp []dist.Distribution
+	pResp   []float64
+	pNext   []float64
+}
+
+// NewCSSource builds a client-server source.
+func NewCSSource(m *core.CSModel, rng *rand.Rand) *CSSource {
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	s := &CSSource{Model: m, StartStationary: true, rng: rng}
+	for _, a := range m.Apps {
+		for _, msg := range a.Messages {
+			s.svcReq = append(s.svcReq, dist.NewExponential(msg.MuReq))
+			s.svcResp = append(s.svcResp, dist.NewExponential(msg.MuResp))
+			s.pResp = append(s.pResp, msg.PResp)
+			s.pNext = append(s.pNext, msg.PNext)
+		}
+	}
+	return s
+}
+
+// ClassCount returns the number of message classes (2 per message type).
+func (s *CSSource) ClassCount() int { return 2 * len(s.svcReq) }
+
+func (s *CSSource) String() string { return fmt.Sprintf("hap-cs(%s)", s.Model.Name) }
+
+// Install wires the completion hook and schedules the hierarchy.
+func (s *CSSource) Install(e *Engine) {
+	s.e = e
+	e.SetServedHook(s.onServed)
+	if s.StartStationary {
+		nu := s.Model.Nu()
+		for k := 0; k < dist.PoissonSample(s.rng, nu); k++ {
+			s.addUser()
+		}
+	}
+	e.ScheduleAfter(s.rng.ExpFloat64()/s.Model.Lambda, s.userArrival)
+}
+
+func (s *CSSource) userArrival() {
+	s.addUser()
+	s.e.ScheduleAfter(s.rng.ExpFloat64()/s.Model.Lambda, s.userArrival)
+}
+
+func (s *CSSource) addUser() {
+	u := &simUser{alive: true}
+	s.e.SetUsers(s.e.Users() + 1)
+	s.e.ScheduleAfter(s.rng.ExpFloat64()/s.Model.Mu, func() {
+		u.alive = false
+		s.e.SetUsers(s.e.Users() - 1)
+	})
+	for i := range s.Model.Apps {
+		s.scheduleSpawn(u, i)
+	}
+}
+
+func (s *CSSource) scheduleSpawn(u *simUser, ti int) {
+	s.e.ScheduleAfter(s.rng.ExpFloat64()/s.Model.Apps[ti].Lambda, func() {
+		if !u.alive {
+			return
+		}
+		s.addApp(ti)
+		s.scheduleSpawn(u, ti)
+	})
+}
+
+func (s *CSSource) addApp(ti int) {
+	a := &simApp{alive: true, ti: ti}
+	s.e.SetApps(s.e.Apps() + 1)
+	s.e.ScheduleAfter(s.rng.ExpFloat64()/s.Model.Apps[ti].Mu, func() {
+		a.alive = false
+		s.e.SetApps(s.e.Apps() - 1)
+	})
+	base := s.typeBase(ti)
+	for j := range s.Model.Apps[ti].Messages {
+		s.scheduleOpen(a, j, base+j)
+	}
+}
+
+// typeBase returns the flattened message-type index of (ti, 0).
+func (s *CSSource) typeBase(ti int) int {
+	base := 0
+	for i := 0; i < ti; i++ {
+		base += len(s.Model.Apps[i].Messages)
+	}
+	return base
+}
+
+// scheduleOpen emits exchange-opening requests for message type k of a
+// live application.
+func (s *CSSource) scheduleOpen(a *simApp, j, k int) {
+	s.e.ScheduleAfter(s.rng.ExpFloat64()/s.Model.Apps[a.ti].Messages[j].Lambda, func() {
+		if !a.alive {
+			return
+		}
+		s.sendRequest(k)
+		s.scheduleOpen(a, j, k)
+	})
+}
+
+func (s *CSSource) sendRequest(k int) {
+	s.e.ArriveMessage(s.svcReq[k], 2*k)
+}
+
+func (s *CSSource) sendResponse(k int) {
+	s.e.ArriveMessage(s.svcResp[k], 2*k+1)
+}
+
+// onServed continues the exchange: served request → maybe response;
+// served response → maybe next request. Triggered messages outlive the
+// application that opened the exchange, mirroring how a remote server
+// replies regardless.
+func (s *CSSource) onServed(class int) {
+	k := class / 2
+	if k < 0 || k >= len(s.pResp) {
+		return
+	}
+	if class%2 == 0 {
+		// Request finished: trigger the response.
+		if s.rng.Float64() < s.pResp[k] {
+			s.after(func() { s.sendResponse(k) })
+		}
+		return
+	}
+	// Response finished: maybe the client issues the next request.
+	if s.rng.Float64() < s.pNext[k] {
+		s.after(func() { s.sendRequest(k) })
+	}
+}
+
+func (s *CSSource) after(f func()) {
+	if s.ThinkTime == nil {
+		// Schedule rather than call inline so the engine finishes the
+		// current completion (queue pop, stats) first.
+		s.e.ScheduleAfter(0, f)
+		return
+	}
+	s.e.ScheduleAfter(s.ThinkTime.Sample(s.rng), f)
+}

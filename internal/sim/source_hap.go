@@ -1,0 +1,235 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hap/internal/core"
+	"hap/internal/dist"
+)
+
+// HAPSource simulates the full 3-level hierarchy: users arrive and depart,
+// spawn applications while present, and live applications emit messages.
+// Applications outlive their user ("a user has departed but the
+// application this user invoked may be still active"), exactly as the
+// model specifies.
+type HAPSource struct {
+	Model *core.Model
+	// StartStationary samples the initial user/application populations
+	// from their stationary (Poisson) laws instead of starting empty,
+	// which removes the user-level transient (~1/μ) from the warmup bill.
+	StartStationary bool
+	// ServiceOverride, when non-nil, replaces every message service law.
+	ServiceOverride dist.Distribution
+
+	rng *rand.Rand
+	e   *Engine
+	svc [][]dist.Distribution // [appType][msgType]
+	cls [][]int               // flattened class index per (i,j)
+}
+
+type simUser struct{ alive bool }
+
+type simApp struct {
+	alive bool
+	ti    int
+}
+
+// NewHAPSource builds a source for the model with its own random stream.
+func NewHAPSource(m *core.Model, rng *rand.Rand) *HAPSource {
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	s := &HAPSource{Model: m, StartStationary: true, rng: rng}
+	idx := 0
+	for _, a := range m.Apps {
+		svcRow := make([]dist.Distribution, len(a.Messages))
+		clsRow := make([]int, len(a.Messages))
+		for j, msg := range a.Messages {
+			svcRow[j] = dist.NewExponential(msg.Mu)
+			clsRow[j] = idx
+			idx++
+		}
+		s.svc = append(s.svc, svcRow)
+		s.cls = append(s.cls, clsRow)
+	}
+	return s
+}
+
+// ClassCount returns the number of message classes (leaves).
+func (s *HAPSource) ClassCount() int { return s.Model.NumLeaves() }
+
+func (s *HAPSource) String() string { return fmt.Sprintf("hap(%s)", s.Model) }
+
+// Install schedules the initial population and the first user arrival.
+func (s *HAPSource) Install(e *Engine) {
+	s.e = e
+	if s.StartStationary {
+		nUsers := dist.PoissonSample(s.rng, s.Model.Nu())
+		for k := 0; k < nUsers; k++ {
+			s.addUser()
+		}
+		// Orphaned applications from already-departed users: the
+		// stationary application population given x users is
+		// Poisson(x·aᵢ) per type only in the fast-equilibrium view; the
+		// exact marginal is Poisson(ν·aᵢ) in total. Sampling per live
+		// user covers the lion's share; the remainder (ν−x)·aᵢ belongs
+		// to departed users' still-running applications.
+		for i := range s.Model.Apps {
+			meanOrphans := (s.Model.Nu() - float64(nUsers)) * s.Model.AppLoad(i)
+			if meanOrphans > 0 {
+				for k := 0; k < dist.PoissonSample(s.rng, meanOrphans); k++ {
+					s.addApp(i)
+				}
+			}
+		}
+	}
+	s.e.ScheduleAfter(s.exp(s.Model.Lambda), s.userArrival)
+}
+
+func (s *HAPSource) exp(rate float64) float64 { return s.rng.ExpFloat64() / rate }
+
+func (s *HAPSource) userArrival() {
+	s.addUser()
+	s.e.ScheduleAfter(s.exp(s.Model.Lambda), s.userArrival)
+}
+
+// addUser creates a live user with its departure and per-type spawn clocks.
+func (s *HAPSource) addUser() {
+	u := &simUser{alive: true}
+	s.e.SetUsers(s.e.Users() + 1)
+	s.e.ScheduleAfter(s.exp(s.Model.Mu), func() {
+		u.alive = false
+		s.e.SetUsers(s.e.Users() - 1)
+	})
+	for i := range s.Model.Apps {
+		s.scheduleSpawn(u, i)
+	}
+}
+
+func (s *HAPSource) scheduleSpawn(u *simUser, ti int) {
+	s.e.ScheduleAfter(s.exp(s.Model.Apps[ti].Lambda), func() {
+		if !u.alive {
+			return // lazily cancelled by the user's departure
+		}
+		s.addApp(ti)
+		s.scheduleSpawn(u, ti)
+	})
+}
+
+// addApp creates a live application instance with its departure and
+// per-message-type emission clocks.
+func (s *HAPSource) addApp(ti int) {
+	a := &simApp{alive: true, ti: ti}
+	s.e.SetApps(s.e.Apps() + 1)
+	s.e.ScheduleAfter(s.exp(s.Model.Apps[ti].Mu), func() {
+		a.alive = false
+		s.e.SetApps(s.e.Apps() - 1)
+	})
+	for j := range s.Model.Apps[ti].Messages {
+		s.scheduleEmit(a, j)
+	}
+}
+
+func (s *HAPSource) scheduleEmit(a *simApp, j int) {
+	s.e.ScheduleAfter(s.exp(s.Model.Apps[a.ti].Messages[j].Lambda), func() {
+		if !a.alive {
+			return
+		}
+		svc := s.svc[a.ti][j]
+		if s.ServiceOverride != nil {
+			svc = s.ServiceOverride
+		}
+		s.e.ArriveMessage(svc, s.cls[a.ti][j])
+		s.scheduleEmit(a, j)
+	})
+}
+
+// PoissonSource generates Poisson(Rate) messages with the given service
+// law — the paper's baseline.
+type PoissonSource struct {
+	Rate float64
+	Svc  dist.Distribution
+	rng  *rand.Rand
+	e    *Engine
+}
+
+// NewPoissonSource builds the baseline source.
+func NewPoissonSource(rate float64, svc dist.Distribution, rng *rand.Rand) *PoissonSource {
+	if rate <= 0 {
+		panic("sim: poisson rate must be positive")
+	}
+	return &PoissonSource{Rate: rate, Svc: svc, rng: rng}
+}
+
+func (s *PoissonSource) String() string { return fmt.Sprintf("poisson(rate=%g)", s.Rate) }
+
+// Install schedules the first arrival.
+func (s *PoissonSource) Install(e *Engine) {
+	s.e = e
+	e.ScheduleAfter(s.rng.ExpFloat64()/s.Rate, s.arrive)
+}
+
+func (s *PoissonSource) arrive() {
+	s.e.ArriveMessage(s.Svc, 0)
+	s.e.ScheduleAfter(s.rng.ExpFloat64()/s.Rate, s.arrive)
+}
+
+// OnOffSource simulates the 2-level HAP / ON-OFF model: calls arrive
+// Poisson(Lambda), stay exp(Mu) and emit messages at MsgLambda while
+// present.
+type OnOffSource struct {
+	TL              *core.TwoLevel
+	StartStationary bool
+	rng             *rand.Rand
+	e               *Engine
+	svc             dist.Distribution
+}
+
+// NewOnOffSource builds a 2-level source.
+func NewOnOffSource(tl *core.TwoLevel, rng *rand.Rand) *OnOffSource {
+	if err := tl.Validate(); err != nil {
+		panic(err)
+	}
+	return &OnOffSource{TL: tl, StartStationary: true, rng: rng, svc: dist.NewExponential(tl.MsgMu)}
+}
+
+func (s *OnOffSource) String() string {
+	return fmt.Sprintf("onoff(ν=%g γ=%g)", s.TL.Nu(), s.TL.MsgLambda)
+}
+
+// Install schedules the initial calls and the first call arrival.
+func (s *OnOffSource) Install(e *Engine) {
+	s.e = e
+	if s.StartStationary {
+		for k := 0; k < dist.PoissonSample(s.rng, s.TL.Nu()); k++ {
+			s.addCall()
+		}
+	}
+	e.ScheduleAfter(s.rng.ExpFloat64()/s.TL.Lambda, s.callArrival)
+}
+
+func (s *OnOffSource) callArrival() {
+	s.addCall()
+	s.e.ScheduleAfter(s.rng.ExpFloat64()/s.TL.Lambda, s.callArrival)
+}
+
+func (s *OnOffSource) addCall() {
+	c := &simUser{alive: true}
+	s.e.SetUsers(s.e.Users() + 1)
+	s.e.ScheduleAfter(s.rng.ExpFloat64()/s.TL.Mu, func() {
+		c.alive = false
+		s.e.SetUsers(s.e.Users() - 1)
+	})
+	s.scheduleCallEmit(c)
+}
+
+func (s *OnOffSource) scheduleCallEmit(c *simUser) {
+	s.e.ScheduleAfter(s.rng.ExpFloat64()/s.TL.MsgLambda, func() {
+		if !c.alive {
+			return
+		}
+		s.e.ArriveMessage(s.svc, 0)
+		s.scheduleCallEmit(c)
+	})
+}

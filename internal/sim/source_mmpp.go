@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hap/internal/dist"
+	"hap/internal/mmpp"
+)
+
+// MMPPSource simulates an arbitrary Markov-modulated Poisson process: the
+// modulating chain moves between states, and in state s messages arrive
+// Poisson(rate_s). A generation counter lazily cancels the arrival clock
+// on every state change.
+type MMPPSource struct {
+	Proc *mmpp.MMPP
+	Svc  dist.Distribution
+	// Start is the initial modulator state (default 0). Use
+	// StartStationary to draw it from the stationary law instead.
+	Start           int
+	StartStationary bool
+
+	rng   *rand.Rand
+	e     *Engine
+	state int
+	gen   uint64
+}
+
+// NewMMPPSource builds an MMPP source.
+func NewMMPPSource(proc *mmpp.MMPP, svc dist.Distribution, rng *rand.Rand) *MMPPSource {
+	return &MMPPSource{Proc: proc, Svc: svc, rng: rng}
+}
+
+func (s *MMPPSource) String() string {
+	return fmt.Sprintf("mmpp(states=%d)", s.Proc.Chain.N())
+}
+
+// Install schedules the modulator and arrival clocks.
+func (s *MMPPSource) Install(e *Engine) {
+	s.e = e
+	s.state = s.Start
+	if s.StartStationary {
+		if pi, err := s.Proc.Stationary(); err == nil {
+			u := s.rng.Float64()
+			var c float64
+			for i, p := range pi {
+				c += p
+				if u <= c {
+					s.state = i
+					break
+				}
+			}
+		}
+	}
+	s.enterState(s.state)
+}
+
+func (s *MMPPSource) enterState(state int) {
+	s.state = state
+	s.gen++
+	out := s.Proc.Chain.OutRate(state)
+	if out > 0 {
+		gen := s.gen
+		s.e.ScheduleAfter(s.rng.ExpFloat64()/out, func() {
+			if gen != s.gen {
+				return
+			}
+			s.enterState(s.pickNext())
+		})
+	}
+	s.scheduleArrival()
+}
+
+func (s *MMPPSource) pickNext() int {
+	trs := s.Proc.Chain.Transitions(s.state)
+	total := s.Proc.Chain.OutRate(s.state)
+	u := s.rng.Float64() * total
+	var c float64
+	for _, tr := range trs {
+		c += tr.Rate
+		if u <= c {
+			return tr.To
+		}
+	}
+	return trs[len(trs)-1].To
+}
+
+func (s *MMPPSource) scheduleArrival() {
+	rate := s.Proc.Rates[s.state]
+	if rate <= 0 {
+		return // no arrivals until the next state change
+	}
+	gen := s.gen
+	s.e.ScheduleAfter(s.rng.ExpFloat64()/rate, func() {
+		if gen != s.gen {
+			return
+		}
+		s.e.ArriveMessage(s.Svc, 0)
+		s.scheduleArrival()
+	})
+}
+
+// MMPP2Source builds an MMPPSource from the 2-state comparator.
+func MMPP2Source(m2 mmpp.MMPP2, svc dist.Distribution, rng *rand.Rand) *MMPPSource {
+	src := NewMMPPSource(m2.General(), svc, rng)
+	src.StartStationary = true
+	return src
+}

@@ -1,0 +1,250 @@
+package solver
+
+import (
+	"fmt"
+	"time"
+
+	"hap/internal/core"
+	"hap/internal/markov"
+	"hap/internal/mmpp"
+)
+
+// Solution0 solves the joint modulator ⊗ queue chain of Section 3.2.1 by
+// Gauss–Seidel sweeps of the balance equations — the paper's brute-force
+// Equation 1 iteration. For symmetric models the modulator is the
+// 2-dimensional (x, y) chain of Figure 7, so the full state is (x, y, z);
+// general models use Solution0General.
+//
+// The queue dimension needs a much larger bound than the populations (the
+// paper makes the same observation); the tail is heavy because high-y
+// states are locally unstable. Unless disabled, the iteration warm-starts
+// from the product guess π_modulator(x,y)·Geometric(σ₁)(z) with σ₁ from
+// Solution 1, which cuts the sweep count by orders of magnitude.
+func Solution0(m *core.Model, opts *Options) (Result, error) {
+	start := time.Now()
+	if opts == nil {
+		opts = &Options{}
+	}
+	if err := m.Validate(); err != nil {
+		return Result{}, err
+	}
+	muMsg, ok := m.UniformServiceRate()
+	if !ok {
+		return Result{}, fmt.Errorf("solver: Solution 0 requires a uniform message service rate")
+	}
+	sym, lambdaApp, muApp, lambdaMsg, fanout := m.Symmetric()
+	if !sym {
+		return Result{}, fmt.Errorf("solver: Solution 0 requires a symmetric model; use Solution0General for small general models")
+	}
+	maxU, maxA := opts.bounds(m)
+	lamBar := m.MeanRate()
+	maxZ := opts.maxQueue(lamBar, muMsg)
+
+	l := float64(len(m.Apps))
+	perApp := float64(fanout) * lambdaMsg
+
+	lat := markov.NewLattice(maxU+1, maxA+1, maxZ+1)
+	chain := markov.NewChain(lat.N())
+	for s := 0; s < lat.N(); s++ {
+		x, y, z := lat.At(s, 0), lat.At(s, 1), lat.At(s, 2)
+		if to, ok := lat.Shift(s, 0, +1); ok {
+			chain.Add(s, to, m.Lambda)
+		}
+		if to, ok := lat.Shift(s, 0, -1); ok {
+			chain.Add(s, to, float64(x)*m.Mu)
+		}
+		if to, ok := lat.Shift(s, 1, +1); ok && x > 0 {
+			chain.Add(s, to, float64(x)*l*lambdaApp)
+		}
+		if to, ok := lat.Shift(s, 1, -1); ok {
+			chain.Add(s, to, float64(y)*muApp)
+		}
+		// Message arrivals and departures couple the modulator to z.
+		if to, ok := lat.Shift(s, 2, +1); ok && y > 0 {
+			chain.Add(s, to, float64(y)*perApp)
+		}
+		if to, ok := lat.Shift(s, 2, -1); ok {
+			_ = z
+			chain.Add(s, to, muMsg)
+		}
+	}
+
+	sopts := &markov.SteadyOptions{Tol: opts.tol(), MaxIter: opts.maxIter()}
+	if !opts.DisableWarmStart {
+		if pi0, err := warmStart(m, lat, maxU, maxA, muMsg, opts); err == nil {
+			sopts.Pi0 = pi0
+		}
+	}
+	pi, iters, solveErr := chain.GaussSeidel(sopts)
+	if solveErr != nil {
+		// The iterate is still usable; report it with the error so callers
+		// can see how far the sweep got (the paper's own runs were budget
+		// bound too).
+		solveErr = fmt.Errorf("solver: solution 0: %w", solveErr)
+	}
+
+	// λ̄ = Σ π·R, N̄ = Σ π·z, T = N̄/λ̄ (Little), and σ is the probability
+	// an arrival finds the server busy: arrivals occur at rate R(state), so
+	// σ = Σ_{z>=1} π·R / λ̄.
+	var meanRate, meanN, busyWeighted float64
+	for s, p := range pi {
+		if p == 0 {
+			continue
+		}
+		y, z := lat.At(s, 1), lat.At(s, 2)
+		r := float64(y) * perApp
+		meanRate += p * r
+		meanN += p * float64(z)
+		if z >= 1 {
+			busyWeighted += p * r
+		}
+	}
+	res := Result{
+		Method:     "solution0",
+		MeanRate:   meanRate,
+		Rho:        meanRate / muMsg,
+		Sigma:      busyWeighted / meanRate,
+		Delay:      meanN / meanRate,
+		QueueLen:   meanN,
+		Iterations: iters,
+		States:     lat.N(),
+		Elapsed:    time.Since(start),
+	}
+	return res, solveErr
+}
+
+// warmStart builds the product initial guess π(x,y)·(1−σ)σ^z.
+func warmStart(m *core.Model, lat *markov.Lattice, maxU, maxA int, muMsg float64, opts *Options) ([]float64, error) {
+	proc, modLat, err := mmpp.FromHAPSimplified(m, maxU, maxA)
+	if err != nil {
+		return nil, err
+	}
+	piMod, err := proc.Stationary()
+	if err != nil {
+		return nil, err
+	}
+	s1, err := Solution1(m, &Options{MaxUsers: maxU, MaxApps: maxA, Tol: 1e-8})
+	if err != nil {
+		return nil, err
+	}
+	sig := s1.Sigma
+	if sig <= 0 || sig >= 1 {
+		sig = s1.Rho
+	}
+	maxZ := lat.Dims[2] - 1
+	geo := make([]float64, maxZ+1)
+	g := 1 - sig
+	for z := 0; z <= maxZ; z++ {
+		geo[z] = g
+		g *= sig
+	}
+	pi0 := make([]float64, lat.N())
+	for sMod, p := range piMod {
+		if p == 0 {
+			continue
+		}
+		x, y := modLat.At(sMod, 0), modLat.At(sMod, 1)
+		base := lat.Index(x, y, 0)
+		for z := 0; z <= maxZ; z++ {
+			pi0[base+z] = p * geo[z]
+		}
+	}
+	return pi0, nil
+}
+
+// Solution0General solves the full (l+2)-dimensional joint chain
+// (x, y₁..y_l, z) for a general (possibly asymmetric) model. The state
+// space explodes with l; this is intended for small validation models, as
+// in the paper's own framing.
+func Solution0General(m *core.Model, maxUsers int, maxAppsPerType []int, maxQueue int, opts *Options) (Result, error) {
+	start := time.Now()
+	if opts == nil {
+		opts = &Options{}
+	}
+	if err := m.Validate(); err != nil {
+		return Result{}, err
+	}
+	muMsg, ok := m.UniformServiceRate()
+	if !ok {
+		return Result{}, fmt.Errorf("solver: Solution 0 requires a uniform message service rate")
+	}
+	l := len(m.Apps)
+	if len(maxAppsPerType) != l {
+		return Result{}, fmt.Errorf("solver: need %d app bounds, got %d", l, len(maxAppsPerType))
+	}
+	if maxQueue < 1 {
+		maxQueue = opts.maxQueue(m.MeanRate(), muMsg)
+	}
+	dims := make([]int, l+2)
+	dims[0] = maxUsers + 1
+	for i, b := range maxAppsPerType {
+		dims[i+1] = b + 1
+	}
+	dims[l+1] = maxQueue + 1
+	lat := markov.NewLattice(dims...)
+	chain := markov.NewChain(lat.N())
+	bigLambda := make([]float64, l)
+	for i, a := range m.Apps {
+		bigLambda[i] = a.TotalMessageRate()
+	}
+	coords := make([]int, l+2)
+	for s := 0; s < lat.N(); s++ {
+		lat.Coords(s, coords)
+		x := coords[0]
+		if to, ok := lat.Shift(s, 0, +1); ok {
+			chain.Add(s, to, m.Lambda)
+		}
+		if to, ok := lat.Shift(s, 0, -1); ok {
+			chain.Add(s, to, float64(x)*m.Mu)
+		}
+		var rate float64
+		for i := 0; i < l; i++ {
+			yi := coords[i+1]
+			if to, ok := lat.Shift(s, i+1, +1); ok && x > 0 {
+				chain.Add(s, to, float64(x)*m.Apps[i].Lambda)
+			}
+			if to, ok := lat.Shift(s, i+1, -1); ok {
+				chain.Add(s, to, float64(yi)*m.Apps[i].Mu)
+			}
+			rate += float64(yi) * bigLambda[i]
+		}
+		if to, ok := lat.Shift(s, l+1, +1); ok && rate > 0 {
+			chain.Add(s, to, rate)
+		}
+		if to, ok := lat.Shift(s, l+1, -1); ok {
+			chain.Add(s, to, muMsg)
+		}
+	}
+	pi, iters, err := chain.GaussSeidel(&markov.SteadyOptions{Tol: opts.tol(), MaxIter: opts.maxIter()})
+	if err != nil {
+		return Result{}, fmt.Errorf("solver: solution 0 general: %w", err)
+	}
+	var meanRate, meanN, busyWeighted float64
+	for s, p := range pi {
+		if p == 0 {
+			continue
+		}
+		lat.Coords(s, coords)
+		var r float64
+		for i := 0; i < l; i++ {
+			r += float64(coords[i+1]) * bigLambda[i]
+		}
+		z := coords[l+1]
+		meanRate += p * r
+		meanN += p * float64(z)
+		if z >= 1 {
+			busyWeighted += p * r
+		}
+	}
+	return Result{
+		Method:     "solution0-general",
+		MeanRate:   meanRate,
+		Rho:        meanRate / muMsg,
+		Sigma:      busyWeighted / meanRate,
+		Delay:      meanN / meanRate,
+		QueueLen:   meanN,
+		Iterations: iters,
+		States:     lat.N(),
+		Elapsed:    time.Since(start),
+	}, nil
+}

@@ -1,0 +1,264 @@
+// Package solver implements the paper's three algorithmic solutions for
+// the HAP/M/1 queue (Section 3.2):
+//
+//   - Solution 0 — brute-force iterative steady state of the joint
+//     modulator ⊗ queue-length chain. Exact up to truncation, slow; the
+//     paper ran it for two weeks on a SUN-4/280. It is the only solution
+//     that preserves interarrival correlation.
+//   - Solution 1 — steady state of the modulator only; the interarrival
+//     time becomes an arrival-rate-weighted mixture of exponentials whose
+//     Laplace transform is exact, and the queue is solved as G/M/1 via the
+//     σ fixed point.
+//   - Solution 2 — the same G/M/1 reduction with closed-form M/M/∞
+//     conditioning (package core's Interarrival), no chain solve at all.
+//
+// All three return the shared Result type so experiments can compare them
+// directly.
+package solver
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"hap/internal/core"
+	"hap/internal/gm1"
+	"hap/internal/mmpp"
+)
+
+// Result reports a solved HAP/M/1 queue.
+type Result struct {
+	Method     string        // "solution0", "solution1", "solution2", ...
+	MeanRate   float64       // λ̄
+	Rho        float64       // λ̄/μ''
+	Sigma      float64       // P(arrival finds server busy)
+	Delay      float64       // mean message sojourn time T
+	QueueLen   float64       // mean number in system N̄
+	Iterations int           // solver iterations
+	States     int           // chain states solved (0 for Solution 2)
+	Elapsed    time.Duration // wall-clock cost
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%s{λ̄=%.4g ρ=%.3g σ=%.4g T=%.4g N̄=%.4g states=%d iters=%d %v}",
+		r.Method, r.MeanRate, r.Rho, r.Sigma, r.Delay, r.QueueLen, r.States, r.Iterations, r.Elapsed.Round(time.Millisecond))
+}
+
+// Options tunes the solvers. The zero value picks sensible defaults.
+type Options struct {
+	// MaxUsers / MaxApps truncate the modulator lattice (defaults from
+	// mmpp.DefaultBounds).
+	MaxUsers, MaxApps int
+	// MaxQueue truncates the queue-length dimension of Solution 0
+	// (default 10·μ''/(μ''−λ̄), floored at 200).
+	MaxQueue int
+	// Tol is the steady-state convergence tolerance (default 1e-9).
+	Tol float64
+	// MaxIter is the sweep budget (default 20000).
+	MaxIter int
+	// SigmaMethod selects the G/M/1 σ solver for Solutions 1 and 2.
+	SigmaMethod gm1.Method
+	// WarmStart seeds Solution 0 with the modulator law × geometric queue
+	// product guess (default true via warmStart()).
+	DisableWarmStart bool
+}
+
+func (o *Options) bounds(m *core.Model) (int, int) {
+	u, a := o.MaxUsers, o.MaxApps
+	if u <= 0 || a <= 0 {
+		du, da := mmpp.DefaultBounds(m, 8)
+		if u <= 0 {
+			u = du
+		}
+		if a <= 0 {
+			a = da
+		}
+	}
+	return u, a
+}
+
+func (o *Options) tol() float64 {
+	if o.Tol > 0 {
+		return o.Tol
+	}
+	return 1e-9
+}
+
+func (o *Options) maxIter() int {
+	if o.MaxIter > 0 {
+		return o.MaxIter
+	}
+	return 20000
+}
+
+func (o *Options) maxQueue(meanRate, muMsg float64) int {
+	if o.MaxQueue > 0 {
+		return o.MaxQueue
+	}
+	rho := meanRate / muMsg
+	z := int(10 / (1 - rho))
+	if z < 200 {
+		z = 200
+	}
+	return z
+}
+
+// Solution2 solves HAP/M/1 with the closed-form interarrival law: the
+// fastest solution ("5 to 7 minutes" in the paper, microseconds here).
+func Solution2(m *core.Model, opts *Options) (Result, error) {
+	start := time.Now()
+	if opts == nil {
+		opts = &Options{}
+	}
+	if err := m.Validate(); err != nil {
+		return Result{}, err
+	}
+	muMsg, ok := m.UniformServiceRate()
+	if !ok {
+		return Result{}, fmt.Errorf("solver: Solution 2 requires a uniform message service rate")
+	}
+	ia := m.Interarrival()
+	lam := ia.MeanRate()
+	res, err := gm1.Solve(ia.Laplace, lam, muMsg, &gm1.Options{Method: opts.SigmaMethod, Tol: opts.tol()})
+	if err != nil {
+		return Result{}, fmt.Errorf("solver: solution 2: %w", err)
+	}
+	return Result{
+		Method:     "solution2",
+		MeanRate:   lam,
+		Rho:        res.Rho,
+		Sigma:      res.Sigma,
+		Delay:      res.Delay,
+		QueueLen:   res.QueueLen,
+		Iterations: res.Iterations,
+		Elapsed:    time.Since(start),
+	}, nil
+}
+
+// Solution2Bounded is Solution 2 with the user and application populations
+// capped (Figure 20's admission-control variant): the mixture over
+// truncated-Poisson populations has an exact Laplace transform.
+func Solution2Bounded(m *core.Model, maxUsers, maxApps int, opts *Options) (Result, error) {
+	start := time.Now()
+	if opts == nil {
+		opts = &Options{}
+	}
+	muMsg, ok := m.UniformServiceRate()
+	if !ok {
+		return Result{}, fmt.Errorf("solver: bounded Solution 2 requires a uniform message service rate")
+	}
+	mix, err := m.BoundedMixture(maxUsers, maxApps)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := gm1.Solve(mix.Laplace, mix.MeanRate, muMsg, &gm1.Options{Method: opts.SigmaMethod, Tol: opts.tol()})
+	if err != nil {
+		return Result{}, fmt.Errorf("solver: bounded solution 2: %w", err)
+	}
+	return Result{
+		Method:     "solution2-bounded",
+		MeanRate:   mix.MeanRate,
+		Rho:        res.Rho,
+		Sigma:      res.Sigma,
+		Delay:      res.Delay,
+		QueueLen:   res.QueueLen,
+		Iterations: res.Iterations,
+		States:     len(mix.Weights),
+		Elapsed:    time.Since(start),
+	}, nil
+}
+
+// Solution1 solves HAP/M/1 by computing the modulator's stationary law on
+// a truncated lattice and feeding the exact mixture Laplace transform to
+// the σ fixed point. Symmetric models use the 2-dimensional chain; general
+// models the full per-type lattice (keep the bounds small there).
+func Solution1(m *core.Model, opts *Options) (Result, error) {
+	start := time.Now()
+	if opts == nil {
+		opts = &Options{}
+	}
+	muMsg, ok := m.UniformServiceRate()
+	if !ok {
+		return Result{}, fmt.Errorf("solver: Solution 1 requires a uniform message service rate")
+	}
+	var proc *mmpp.MMPP
+	var err error
+	if sym, _, _, _, _ := m.Symmetric(); sym {
+		mu, ma := opts.bounds(m)
+		proc, _, err = mmpp.FromHAPSimplified(m, mu, ma)
+	} else {
+		mu, _ := opts.bounds(m)
+		per := make([]int, len(m.Apps))
+		for i := range per {
+			per[i] = perTypeBound(m, i, opts.MaxApps)
+		}
+		proc, _, err = mmpp.FromHAP(m, mu, per)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	weights, rates, lam, err := proc.InterarrivalMixture()
+	if err != nil {
+		return Result{}, err
+	}
+	laplace := func(s float64) float64 {
+		var v float64
+		for i, w := range weights {
+			v += w * rates[i] / (rates[i] + s)
+		}
+		return v
+	}
+	res, err := gm1.Solve(laplace, lam, muMsg, &gm1.Options{Method: opts.SigmaMethod, Tol: opts.tol()})
+	if err != nil {
+		return Result{}, fmt.Errorf("solver: solution 1: %w", err)
+	}
+	return Result{
+		Method:     "solution1",
+		MeanRate:   lam,
+		Rho:        res.Rho,
+		Sigma:      res.Sigma,
+		Delay:      res.Delay,
+		QueueLen:   res.QueueLen,
+		Iterations: res.Iterations,
+		States:     proc.Chain.N(),
+		Elapsed:    time.Since(start),
+	}, nil
+}
+
+// perTypeBound sizes the truncation of application type i around its
+// stationary marginal (mean ν·aᵢ, variance ≤ mean·(1+aᵢ·ν)), not the
+// worst-case user count — the latter cubes the phase count for nothing.
+// A positive cap (from Options.MaxApps) overrides the heuristic.
+func perTypeBound(m *core.Model, i, capBound int) int {
+	if capBound > 0 {
+		return capBound
+	}
+	mean := m.Nu() * m.AppLoad(i)
+	std := math.Sqrt(mean * (1 + m.Nu()*m.AppLoad(i)))
+	b := int(mean + 8*math.Max(std, 1))
+	if b < 6 {
+		b = 6
+	}
+	return b
+}
+
+// Poisson returns the M/M/1 baseline at the model's mean rate — the
+// comparison the paper draws in every delay figure.
+func Poisson(m *core.Model) (Result, error) {
+	muMsg, ok := m.UniformServiceRate()
+	if !ok {
+		return Result{}, fmt.Errorf("solver: Poisson baseline requires a uniform service rate")
+	}
+	res, err := gm1.MM1(m.MeanRate(), muMsg)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Method:   "poisson",
+		MeanRate: res.Lambda,
+		Rho:      res.Rho,
+		Sigma:    res.Sigma,
+		Delay:    res.Delay,
+		QueueLen: res.QueueLen,
+	}, nil
+}

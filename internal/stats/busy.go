@@ -1,0 +1,110 @@
+package stats
+
+import "fmt"
+
+// BusyPeriod describes one busy period of the queue — a "mountain" in the
+// paper's terminology.
+type BusyPeriod struct {
+	Start  float64
+	End    float64
+	Height int // maximum number in system during the period
+}
+
+// Length returns End-Start.
+func (b BusyPeriod) Length() float64 { return b.End - b.Start }
+
+// BusyTracker observes the number-in-system process and records busy and
+// idle periods with their heights, the raw material for the paper's
+// Figure 18 table (mean/variance of busy period, idle period and height,
+// and the number of mountains).
+//
+// Feed it every change of the number in system via Observe. The tracker
+// assumes the system starts empty at the first observation time.
+type BusyTracker struct {
+	inited    bool
+	inBusy    bool
+	busyStart float64
+	idleStart float64
+	curHeight int
+	lastT     float64
+
+	Busy   Welford // busy period lengths
+	Idle   Welford // idle period lengths
+	Height Welford // per-busy-period peak number in system
+
+	Periods     []BusyPeriod // retained only when Keep is true
+	Keep        bool
+	MaxRetained int
+}
+
+// Observe records that the number in system becomes n at time t.
+func (bt *BusyTracker) Observe(t float64, n int) {
+	if !bt.inited {
+		bt.inited = true
+		bt.lastT = t
+		if n > 0 {
+			bt.inBusy = true
+			bt.busyStart = t
+			bt.curHeight = n
+		} else {
+			bt.idleStart = t
+		}
+		return
+	}
+	if t < bt.lastT {
+		panic("stats: BusyTracker time went backwards")
+	}
+	bt.lastT = t
+	switch {
+	case !bt.inBusy && n > 0:
+		// idle → busy
+		bt.Idle.Add(t - bt.idleStart)
+		bt.inBusy = true
+		bt.busyStart = t
+		bt.curHeight = n
+	case bt.inBusy && n == 0:
+		// busy → idle
+		bt.Busy.Add(t - bt.busyStart)
+		bt.Height.Add(float64(bt.curHeight))
+		if bt.Keep && (bt.MaxRetained == 0 || len(bt.Periods) < bt.MaxRetained) {
+			bt.Periods = append(bt.Periods, BusyPeriod{Start: bt.busyStart, End: t, Height: bt.curHeight})
+		}
+		bt.inBusy = false
+		bt.idleStart = t
+	case bt.inBusy && n > bt.curHeight:
+		bt.curHeight = n
+	}
+}
+
+// Mountains returns the number of completed busy periods.
+func (bt *BusyTracker) Mountains() int64 { return bt.Busy.N() }
+
+// BusyFraction returns mean busy / (mean busy + mean idle), the paper's
+// utilisation-like summary (≈55% for both HAP and Poisson in Figure 18).
+func (bt *BusyTracker) BusyFraction() float64 {
+	b, i := bt.Busy.Mean(), bt.Idle.Mean()
+	if b+i == 0 {
+		return 0
+	}
+	return b / (b + i)
+}
+
+// Peak returns the longest and tallest completed busy periods (zero values
+// when Keep is false or no periods completed).
+func (bt *BusyTracker) Peak() (longest, tallest BusyPeriod) {
+	for _, p := range bt.Periods {
+		if p.Length() > longest.Length() {
+			longest = p
+		}
+		if p.Height > tallest.Height {
+			tallest = p
+		}
+	}
+	return longest, tallest
+}
+
+func (bt *BusyTracker) String() string {
+	return fmt.Sprintf("busy{n=%d mean=%.4g var=%.4g} idle{mean=%.4g var=%.4g} height{mean=%.4g var=%.4g max=%g}",
+		bt.Busy.N(), bt.Busy.Mean(), bt.Busy.Var(), bt.Idle.Mean(), bt.Idle.Var(),
+		bt.Height.Mean(), bt.Height.Var(), bt.Height.Max())
+}

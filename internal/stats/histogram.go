@@ -1,0 +1,153 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram is a fixed-bin histogram on [Lo, Hi) with overflow/underflow
+// counters. It supports approximate quantiles and density estimates; use it
+// to reproduce the interarrival-time density comparisons (Figures 9–10) from
+// simulation output.
+type Histogram struct {
+	Lo, Hi float64
+	bins   []int64
+	under  int64
+	over   int64
+	n      int64
+	sum    float64
+}
+
+// NewHistogram creates a histogram with nbins uniform bins over [lo, hi).
+func NewHistogram(lo, hi float64, nbins int) *Histogram {
+	if hi <= lo || nbins < 1 {
+		panic(fmt.Sprintf("stats: invalid histogram [%v,%v) x%d", lo, hi, nbins))
+	}
+	return &Histogram{Lo: lo, Hi: hi, bins: make([]int64, nbins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.n++
+	h.sum += x
+	switch {
+	case x < h.Lo:
+		h.under++
+	case x >= h.Hi:
+		h.over++
+	default:
+		i := int(float64(len(h.bins)) * (x - h.Lo) / (h.Hi - h.Lo))
+		if i == len(h.bins) { // guard FP edge
+			i--
+		}
+		h.bins[i]++
+	}
+}
+
+// N returns the total observation count (including out-of-range).
+func (h *Histogram) N() int64 { return h.n }
+
+// Mean returns the exact sample mean of all observations.
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// BinWidth returns the width of each bin.
+func (h *Histogram) BinWidth() float64 { return (h.Hi - h.Lo) / float64(len(h.bins)) }
+
+// Count returns the count in bin i.
+func (h *Histogram) Count(i int) int64 { return h.bins[i] }
+
+// Bins returns the number of bins.
+func (h *Histogram) Bins() int { return len(h.bins) }
+
+// Center returns the midpoint of bin i.
+func (h *Histogram) Center(i int) float64 {
+	return h.Lo + (float64(i)+0.5)*h.BinWidth()
+}
+
+// Density returns the estimated probability density at the centre of bin i:
+// count / (N · binWidth).
+func (h *Histogram) Density(i int) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.bins[i]) / (float64(h.n) * h.BinWidth())
+}
+
+// CDFAt returns the empirical CDF at the right edge of bin i.
+func (h *Histogram) CDFAt(i int) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	c := h.under
+	for j := 0; j <= i; j++ {
+		c += h.bins[j]
+	}
+	return float64(c) / float64(h.n)
+}
+
+// Quantile returns an approximate p-quantile by linear interpolation within
+// the containing bin. Out-of-range mass maps to the histogram bounds.
+func (h *Histogram) Quantile(p float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	target := p * float64(h.n)
+	c := float64(h.under)
+	if target <= c {
+		return h.Lo
+	}
+	for i, b := range h.bins {
+		nb := c + float64(b)
+		if target <= nb && b > 0 {
+			frac := (target - c) / float64(b)
+			return h.Lo + (float64(i)+frac)*h.BinWidth()
+		}
+		c = nb
+	}
+	return h.Hi
+}
+
+// String renders a compact ASCII bar summary.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	maxC := int64(1)
+	for _, c := range h.bins {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	fmt.Fprintf(&b, "hist n=%d under=%d over=%d\n", h.n, h.under, h.over)
+	for i, c := range h.bins {
+		bar := strings.Repeat("#", int(40*c/maxC))
+		fmt.Fprintf(&b, "%10.4g %8d %s\n", h.Center(i), c, bar)
+	}
+	return b.String()
+}
+
+// Quantiles computes exact sample quantiles of data (which it sorts in
+// place) for each probability in ps.
+func Quantiles(data []float64, ps ...float64) []float64 {
+	sort.Float64s(data)
+	out := make([]float64, len(ps))
+	for k, p := range ps {
+		if len(data) == 0 {
+			continue
+		}
+		pos := p * float64(len(data)-1)
+		i := int(math.Floor(pos))
+		frac := pos - float64(i)
+		if i+1 < len(data) {
+			out[k] = data[i]*(1-frac) + data[i+1]*frac
+		} else {
+			out[k] = data[len(data)-1]
+		}
+	}
+	return out
+}
