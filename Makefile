@@ -1,0 +1,38 @@
+GO ?= go
+
+.PHONY: all build test ci fmt vet race bench-smoke bench baseline
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# ci is the merge gate: formatting, vet, the race detector over the
+# concurrency-bearing packages, and a one-iteration benchmark smoke test.
+ci: fmt vet race bench-smoke
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./internal/par ./internal/sim
+
+bench-smoke:
+	$(GO) test -bench=SimulatorHAP -benchtime=1x -run '^$$' .
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' .
+
+# baseline regenerates BENCH_baseline.json (one iteration per benchmark —
+# a reference shape, not a statistically stable measurement).
+baseline:
+	$(GO) test -bench . -benchtime=1x -run '^$$' -json . > BENCH_baseline.json

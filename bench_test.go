@@ -256,6 +256,33 @@ func BenchmarkSimulatorPoissonEvents(b *testing.B) {
 	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
 }
 
+// BenchmarkParallelReplications measures the replication fan-out at several
+// worker counts; the statistics are bit-identical across sub-benchmarks by
+// construction, so only the wall clock moves with the core count.
+func BenchmarkParallelReplications(b *testing.B) {
+	m := core.PaperParams(20)
+	run := func(rep int, seed int64) *sim.RunResult {
+		return sim.RunHAP(m, sim.Config{Horizon: 5000, Seed: seed,
+			Measure: sim.MeasureConfig{Warmup: 100}})
+	}
+	const reps = 8
+	for _, workers := range []int{1, 2, 4, 0} {
+		name := "workers=all"
+		if workers > 0 {
+			name = "workers=" + string(rune('0'+workers))
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			var events int64
+			for i := 0; i < b.N; i++ {
+				agg := sim.ReplicateRuns(reps, 7, workers, run)
+				events += agg.Events
+			}
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
+}
+
 // BenchmarkInterarrivalPDF measures the closed-form density evaluation,
 // the inner loop of every Solution-2 quadrature.
 func BenchmarkInterarrivalPDF(b *testing.B) {

@@ -4,14 +4,18 @@
 //
 //	go run ./cmd/hapsim -horizon 1e6 -mu3 17 -busy
 //	go run ./cmd/hapsim -source poisson -horizon 1e6
+//	go run ./cmd/hapsim -horizon 1e5 -reps 8 -parallel 0   # replicated, all cores
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"hap/internal/core"
+	"hap/internal/par"
 	"hap/internal/sim"
 	"hap/internal/trace"
 )
@@ -29,15 +33,32 @@ func main() {
 		mm      = flag.Int("m", 3, "message types per application")
 		horizon = flag.Float64("horizon", 1e6, "simulated seconds")
 		warmup  = flag.Float64("warmup", 0, "warmup seconds to discard (default horizon/100)")
-		seed    = flag.Int64("seed", 1, "random seed")
+		seed    = flag.Int64("seed", 1, "random seed (replication i derives its own seed from this)")
+		reps    = flag.Int("reps", 1, "independent replications to run and merge")
+		workers = flag.Int("parallel", 1, "workers for replications: 0 = all cores, 1 = serial")
 		busy    = flag.Bool("busy", false, "track busy periods (mountains)")
 		queue   = flag.Float64("queuetrace", 0, "queue trace sample interval in seconds (0 = off)")
 		csvOut  = flag.String("csv", "", "write the queue trace to this CSV file")
 		config  = flag.String("config", "", "JSON model file (hap source only; overrides the symmetric flags)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if *warmup == 0 {
 		*warmup = *horizon / 100
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
 	}
 	mcfg := sim.MeasureConfig{
 		Warmup:             *warmup,
@@ -48,7 +69,9 @@ func main() {
 	}
 	cfg := sim.Config{Horizon: *horizon, Seed: *seed, Measure: mcfg}
 
-	var res *sim.RunResult
+	// Build a per-seed runner once; a single run and a replicated run then
+	// share the exact same code path.
+	var run func(seed int64) *sim.RunResult
 	switch *source {
 	case "hap":
 		var m *core.Model
@@ -67,23 +90,61 @@ func main() {
 			os.Exit(2)
 		}
 		fmt.Printf("source: %s\n", m)
-		res = sim.RunHAP(m, cfg)
+		run = func(seed int64) *sim.RunResult {
+			c := cfg
+			c.Seed = seed
+			return sim.RunHAP(m, c)
+		}
 	case "poisson":
 		rate := core.NewSymmetric(*lambda, *mu, *lambda2, *mu2, *lambda3, *mu3, *l, *mm).MeanRate()
 		fmt.Printf("source: poisson(rate=%.4g)\n", rate)
-		res = sim.RunPoisson(rate, *mu3, cfg)
+		run = func(seed int64) *sim.RunResult {
+			c := cfg
+			c.Seed = seed
+			return sim.RunPoisson(rate, *mu3, c)
+		}
 	case "onoff":
 		tl := core.NewOnOff(*lambda, *mu, *lambda3, *mu3)
 		fmt.Printf("source: onoff(ν=%.4g, γ=%.4g)\n", tl.Nu(), tl.MsgLambda)
-		res = sim.RunOnOff(tl, cfg)
+		run = func(seed int64) *sim.RunResult {
+			c := cfg
+			c.Seed = seed
+			return sim.RunOnOff(tl, c)
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown source %q\n", *source)
 		os.Exit(2)
 	}
 
+	var res *sim.RunResult
+	if *reps > 1 {
+		agg := sim.ReplicateRuns(*reps, *seed, *workers,
+			func(rep int, seed int64) *sim.RunResult { return run(seed) })
+		fmt.Printf("\n%d replications on %d workers, wall %v\n",
+			*reps, par.Workers(*workers, *reps), agg.Elapsed)
+		fmt.Printf("events %d, arrivals %d, departures %d\n",
+			agg.Events, agg.Arrivals, agg.Departures)
+		if agg.Truncated {
+			fmt.Println("warning: at least one replication hit its event budget")
+		}
+		fmt.Printf("mean delay         %.5g s ± %.3g (95%% CI over %d reps)\n",
+			agg.Delay.Mean(), agg.HalfWidth, agg.Delay.N())
+		fmt.Printf("pooled delay       %.5g s (std %.4g, max %.4g, n=%d)\n",
+			agg.Merged.MeanDelay(), agg.Merged.Delays.Std(), agg.Merged.Delays.Max(),
+			agg.Merged.Delays.N())
+		fmt.Printf("mean queue length  %.5g (max %g)\n",
+			agg.Merged.MeanQueue(), agg.Merged.Queue.Max())
+		writeMemProfile(*memProf)
+		return
+	}
+	res = run(*seed)
+
 	meas := res.Meas
 	fmt.Printf("\nevents %d, arrivals %d, departures %d, wall %v\n",
 		res.Events, res.Arrivals, res.Departures, res.Elapsed)
+	if res.Truncated {
+		fmt.Println("warning: run hit its event budget before the horizon")
+	}
 	fmt.Printf("observed rate      %.5g msgs/s\n", meas.ObservedRate())
 	fmt.Printf("mean delay         %.5g s (std %.4g, max %.4g)\n",
 		meas.MeanDelay(), meas.Delays.Std(), meas.Delays.Max())
@@ -116,5 +177,23 @@ func main() {
 			}
 			fmt.Printf("queue trace written to %s\n", *csvOut)
 		}
+	}
+	writeMemProfile(*memProf)
+}
+
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	runtime.GC() // flush recently freed objects for an accurate heap picture
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

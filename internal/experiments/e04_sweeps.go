@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"hap/internal/core"
+	"hap/internal/par"
 	"hap/internal/sim"
 	"hap/internal/solver"
 	"hap/internal/trace"
@@ -75,15 +76,19 @@ func runE4(c *Context) (*Result, error) {
 		caps = []float64{13, 17, 24, 30}
 	}
 	withSim := c.scale() >= 0.3
-	var pts []sweepPoint
-	for _, mu := range caps {
-		m := core.PaperParams(mu)
-		c.printf("E4: μ''=%g (ρ=%.3g)...\n", mu, 8.25/mu)
-		p, err := solveSweepPoint(c, m, mu, withSim)
-		if err != nil {
-			return nil, err
-		}
-		pts = append(pts, p)
+	// Every grid cell (QBD solve + optional simulation) is independent, so
+	// the sweep fans out across the worker pool; the per-point seeds depend
+	// only on the abscissa, keeping results identical at any worker count.
+	c.printf("E4: solving %d sweep points on %d workers...\n",
+		len(caps), par.Workers(0, len(caps)))
+	pts, err := par.MapErr(len(caps), 0, func(i int) (sweepPoint, error) {
+		return solveSweepPoint(c, core.PaperParams(caps[i]), caps[i], withSim)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range pts {
+		c.printf("E4: μ''=%g (ρ=%.3g) → exact %.4g, Poisson %.4g\n", p.x, p.rho, p.exact, p.poisson)
 	}
 	xs := make([]float64, len(pts))
 	exact := make([]float64, len(pts))
@@ -148,14 +153,18 @@ func runE5(c *Context) (*Result, error) {
 		factors = []float64{0.7, 1.0, 1.3}
 	}
 	base := core.PaperParams(17)
+	c.printf("E5: solving %d sweep points on %d workers...\n",
+		len(factors), par.Workers(0, len(factors)))
+	pts, err := par.MapErr(len(factors), 0, func(i int) (sweepPoint, error) {
+		m := base.Scale(core.LevelUser, factors[i])
+		return solveSweepPoint(c, m, m.MeanRate(), false)
+	})
+	if err != nil {
+		return nil, err
+	}
 	var xs, exact, sol2, pois []float64
-	for _, f := range factors {
-		m := base.Scale(core.LevelUser, f)
-		c.printf("E5: λ̄=%.3g (ρ=%.3g)...\n", m.MeanRate(), m.MeanRate()/17)
-		p, err := solveSweepPoint(c, m, m.MeanRate(), false)
-		if err != nil {
-			return nil, err
-		}
+	for _, p := range pts {
+		c.printf("E5: λ̄=%.3g (ρ=%.3g) → exact %.4g\n", p.x, p.x/17, p.exact)
 		xs = append(xs, p.x)
 		exact = append(exact, p.exact)
 		sol2 = append(sol2, p.sol2)

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"hap/internal/core"
+	"hap/internal/par"
 	"hap/internal/sim"
 	"hap/internal/solver"
 	"hap/internal/trace"
@@ -26,17 +27,27 @@ func runE11(c *Context) (*Result, error) {
 	base := core.PaperParams(20)
 	factors := []float64{0.90, 0.95, 1.00, 1.05, 1.10, 1.15, 1.20}
 	levels := []core.Level{core.LevelUser, core.LevelApp, core.LevelMessage}
+	// The whole level × factor grid is independent cells — flatten it onto
+	// the worker pool and regroup by level afterwards.
+	type cell struct{ x, y float64 }
+	grid, err := par.MapErr(len(levels)*len(factors), 0, func(idx int) (cell, error) {
+		lvl, f := levels[idx/len(factors)], factors[idx%len(factors)]
+		r, err := solver.Solution2(base.Scale(lvl, f), nil)
+		if err != nil {
+			return cell{}, err
+		}
+		return cell{x: r.MeanRate, y: r.Delay}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	series := make(map[core.Level][2][]float64) // λ̄, delay per level
-	for _, lvl := range levels {
+	for li, lvl := range levels {
 		var xs, ys []float64
-		for _, f := range factors {
-			m := base.Scale(lvl, f)
-			r, err := solver.Solution2(m, nil)
-			if err != nil {
-				return nil, err
-			}
-			xs = append(xs, r.MeanRate)
-			ys = append(ys, r.Delay)
+		for fi := range factors {
+			g := grid[li*len(factors)+fi]
+			xs = append(xs, g.x)
+			ys = append(ys, g.y)
 		}
 		series[lvl] = [2][]float64{xs, ys}
 	}
@@ -80,20 +91,27 @@ func runE12(c *Context) (*Result, error) {
 	res := &Result{ID: "E12", Title: "Figure 20: bounding users/applications"}
 	base := core.PaperParams(20)
 	factors := []float64{0.80, 0.90, 1.00, 1.10, 1.20, 1.27}
-	var xs, free, bounded []float64
-	for _, f := range factors {
-		m := base.Scale(core.LevelUser, f)
+	type e12pt struct{ x, free, bounded float64 }
+	pts, err := par.MapErr(len(factors), 0, func(i int) (e12pt, error) {
+		m := base.Scale(core.LevelUser, factors[i])
 		rf, err := solver.Solution2Bounded(m, 60, 300, nil)
 		if err != nil {
-			return nil, err
+			return e12pt{}, err
 		}
 		rb, err := solver.Solution2Bounded(m, 12, 60, nil)
 		if err != nil {
-			return nil, err
+			return e12pt{}, err
 		}
-		xs = append(xs, m.MeanRate())
-		free = append(free, rf.Delay)
-		bounded = append(bounded, rb.Delay)
+		return e12pt{x: m.MeanRate(), free: rf.Delay, bounded: rb.Delay}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var xs, free, bounded []float64
+	for _, p := range pts {
+		xs = append(xs, p.x)
+		free = append(free, p.free)
+		bounded = append(bounded, p.bounded)
 	}
 	if err := c.writeCSV("fig20_bounding",
 		trace.Series{Name: "lambda_bar", Values: xs},
@@ -190,29 +208,37 @@ func runE14(c *Context) (*Result, error) {
 		rhos = []float64{0.15, 0.30}
 		e14Opts = &solver.Options{MaxUsers: 10, MaxApps: 48}
 	}
-	var xs, errs1, errs2 []float64
-	for _, rho := range rhos {
-		mu := lam / rho
-		m := e14Model(mu)
+	// Each utilisation point needs three independent solves (exact QBD,
+	// Solution 1, Solution 2); fan the points across the pool.
+	type e14pt struct{ exact, s1, s2, e1, e2 float64 }
+	pts, err := par.MapErr(len(rhos), 0, func(i int) (e14pt, error) {
+		m := e14Model(lam / rhos[i])
 		exact, err := solver.Solution0MG(m, e14Opts)
 		if err != nil {
-			return nil, err
+			return e14pt{}, err
 		}
 		s1, err := solver.Solution1(m, e14Opts)
 		if err != nil {
-			return nil, err
+			return e14pt{}, err
 		}
 		s2, err := solver.Solution2(m, nil)
 		if err != nil {
-			return nil, err
+			return e14pt{}, err
 		}
-		e1 := math.Abs(s1.Delay-exact.Delay) / exact.Delay
-		e2 := math.Abs(s2.Delay-exact.Delay) / exact.Delay
+		return e14pt{exact: exact.Delay, s1: s1.Delay, s2: s2.Delay,
+			e1: math.Abs(s1.Delay-exact.Delay) / exact.Delay,
+			e2: math.Abs(s2.Delay-exact.Delay) / exact.Delay}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var xs, errs1, errs2 []float64
+	for i, p := range pts {
 		c.printf("E14: ρ=%.2f exact=%.5g sol1=%.5g sol2=%.5g (err %.2f%% / %.2f%%)\n",
-			rho, exact.Delay, s1.Delay, s2.Delay, 100*e1, 100*e2)
-		xs = append(xs, rho)
-		errs1 = append(errs1, e1)
-		errs2 = append(errs2, e2)
+			rhos[i], p.exact, p.s1, p.s2, 100*p.e1, 100*p.e2)
+		xs = append(xs, rhos[i])
+		errs1 = append(errs1, p.e1)
+		errs2 = append(errs2, p.e2)
 	}
 	if err := c.writeCSV("sec41_accuracy",
 		trace.Series{Name: "rho", Values: xs},

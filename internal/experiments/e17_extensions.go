@@ -7,6 +7,7 @@ import (
 	"hap/internal/core"
 	"hap/internal/dist"
 	"hap/internal/mmpp"
+	"hap/internal/par"
 	"hap/internal/sim"
 	"hap/internal/solver"
 	"hap/internal/trace"
@@ -40,27 +41,39 @@ func runE17(c *Context) (*Result, error) {
 	m := core.PaperParams(totalMu) // service rate overridden below
 	svc := dist.NewExponential(totalMu)
 
-	// Shared queue A: CBR + HAP background.
-	streams := dist.NewStreams(c.Seed + 17)
-	hapSrc := sim.NewHAPSource(m, streams.Next())
-	hapSrc.ServiceOverride = svc
-	cbrClass := hapSrc.ClassCount()
-	cbrA := sim.NewCBRSource(1/cbrRate, svc, cbrClass, streams.Next())
-	c.printf("E17: CBR + HAP background over %g s...\n", horizon)
-	withHAP := sim.Run(sim.NewMulti(hapSrc, cbrA), sim.Config{
-		Horizon: horizon, Seed: c.Seed + 17,
-		Measure: sim.MeasureConfig{Warmup: horizon / 100, ClassCount: cbrClass + 1},
-	})
-
-	// Shared queue B: CBR + Poisson background at the identical rate.
-	c.printf("E17: CBR + Poisson background over %g s...\n", horizon)
-	streams2 := dist.NewStreams(c.Seed + 18)
-	poisBg := sim.NewPoissonSource(bgRate, svc, streams2.Next())
-	cbrB := sim.NewCBRSource(1/cbrRate, svc, 1, streams2.Next())
-	withPoisson := sim.Run(sim.NewMulti(poisBg, cbrB), sim.Config{
-		Horizon: horizon, Seed: c.Seed + 18,
-		Measure: sim.MeasureConfig{Warmup: horizon / 100, ClassCount: 2},
-	})
+	// The two shared-queue simulations are independent (separate seeds and
+	// stream sets), so they run concurrently.
+	var withHAP, withPoisson *sim.RunResult
+	var cbrClass int
+	c.printf("E17: CBR + HAP and CBR + Poisson over %g s each, in parallel...\n", horizon)
+	if err := par.All(
+		func() error {
+			// Shared queue A: CBR + HAP background.
+			streams := dist.NewStreams(c.Seed + 17)
+			hapSrc := sim.NewHAPSource(m, streams.Next())
+			hapSrc.ServiceOverride = svc
+			cbrClass = hapSrc.ClassCount()
+			cbrA := sim.NewCBRSource(1/cbrRate, svc, cbrClass, streams.Next())
+			withHAP = sim.Run(sim.NewMulti(hapSrc, cbrA), sim.Config{
+				Horizon: horizon, Seed: c.Seed + 17,
+				Measure: sim.MeasureConfig{Warmup: horizon / 100, ClassCount: cbrClass + 1},
+			})
+			return nil
+		},
+		func() error {
+			// Shared queue B: CBR + Poisson background at the identical rate.
+			streams2 := dist.NewStreams(c.Seed + 18)
+			poisBg := sim.NewPoissonSource(bgRate, svc, streams2.Next())
+			cbrB := sim.NewCBRSource(1/cbrRate, svc, 1, streams2.Next())
+			withPoisson = sim.Run(sim.NewMulti(poisBg, cbrB), sim.Config{
+				Horizon: horizon, Seed: c.Seed + 18,
+				Measure: sim.MeasureConfig{Warmup: horizon / 100, ClassCount: 2},
+			})
+			return nil
+		},
+	); err != nil {
+		return nil, err
+	}
 
 	cbrWithHAP := withHAP.Meas.ByClass[cbrClass].Mean()
 	cbrWithPoisson := withPoisson.Meas.ByClass[1].Mean()
@@ -100,17 +113,22 @@ func runE18(c *Context) (*Result, error) {
 	if ba < 64 {
 		ba = 64
 	}
-	c.printf("E18: exact HAP solve at bounds (%d,%d)...\n", bu, ba)
-	hapExact, err := solver.Solution0MG(m, &solver.Options{MaxUsers: bu, MaxApps: ba})
-	if err != nil {
-		return nil, err
-	}
-	m2Exact, err := solver.SolveMMPPQueue(fit.General(), 17, nil)
-	if err != nil {
-		return nil, err
-	}
-	pois, err := solver.Poisson(m)
-	if err != nil {
+	c.printf("E18: exact HAP solve at bounds (%d,%d), MMPP2 and Poisson in parallel...\n", bu, ba)
+	var hapExact, m2Exact, pois solver.Result
+	if err := par.All(
+		func() (err error) {
+			hapExact, err = solver.Solution0MG(m, &solver.Options{MaxUsers: bu, MaxApps: ba})
+			return err
+		},
+		func() (err error) {
+			m2Exact, err = solver.SolveMMPPQueue(fit.General(), 17, nil)
+			return err
+		},
+		func() (err error) {
+			pois, err = solver.Poisson(m)
+			return err
+		},
+	); err != nil {
 		return nil, err
 	}
 

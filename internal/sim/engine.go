@@ -7,6 +7,14 @@
 //
 // The engine is deterministic for a fixed seed: ties in event time are
 // broken by schedule order.
+//
+// The hot loop is allocation-free: events are typed values (kind + source
+// slot + integer payload) stored inline in the heap slice and dispatched
+// through a switch on concrete source types, so processing an event costs
+// no closure allocation, no interface boxing and no GC pressure. Sources
+// track their users/applications/calls in slot tables with generation
+// counters (see table) instead of per-entity heap objects, which is what
+// lets a pending event name an entity without keeping a pointer alive.
 package sim
 
 import (
@@ -16,11 +24,53 @@ import (
 	"hap/internal/dist"
 )
 
-// event is one scheduled occurrence. fire runs with the engine clock set.
+// eventKind discriminates the typed events the dispatch switch understands.
+// Source-specific kinds carry the source's slot in event.src and entity
+// slot/generation/type indices in the a, b, c payload.
+type eventKind uint8
+
+const (
+	evFunc eventKind = iota // closure fallback for the public Schedule API
+	evServiceDone
+	// HAPSource
+	evHAPUserArrive // next spontaneous user arrival
+	evHAPUserDepart // a = user slot, b = generation
+	evHAPSpawn      // a = user slot, b = generation, c = application type
+	evHAPAppDepart  // a = app slot,  b = generation
+	evHAPEmit       // a = app slot,  b = generation, c = message type
+	// PoissonSource
+	evPoissonArrive
+	// OnOffSource
+	evOnOffArrive
+	evOnOffDepart // a = call slot, b = generation
+	evOnOffEmit   // a = call slot, b = generation
+	// CBRSource
+	evCBREmit
+	// MMPPSource
+	evMMPPSwitch // a = modulator generation
+	evMMPPArrive // a = modulator generation
+	// CSSource
+	evCSUserArrive
+	evCSUserDepart // a = user slot, b = generation
+	evCSSpawn      // a = user slot, b = generation, c = application type
+	evCSAppDepart  // a = app slot,  b = generation
+	evCSOpen       // a = app slot,  b = generation, c = flattened message type
+	evCSSendReq    // a = flattened message type
+	evCSSendResp   // a = flattened message type
+)
+
+// event is one scheduled occurrence, stored by value in the heap. fire is
+// set only for evFunc events from the public Schedule API; every internal
+// event is fully described by (kind, src, a, b, c).
 type event struct {
 	t    float64
 	seq  uint64
 	fire func()
+	kind eventKind
+	src  int32
+	a    int32
+	b    int32
+	c    int32
 }
 
 // eventHeap is a hand-rolled binary min-heap ordered by (t, seq). Avoiding
@@ -54,7 +104,7 @@ func (h *eventHeap) pop() event {
 	top := hh[0]
 	n := len(hh) - 1
 	hh[0] = hh[n]
-	hh[n] = event{} // release the closure for GC
+	hh[n] = event{} // release any closure for GC
 	*h = hh[:n]
 	hh = *h
 	i := 0
@@ -74,6 +124,45 @@ func (h *eventHeap) pop() event {
 		i = smallest
 	}
 	return top
+}
+
+// table tracks a source's live entities (users, applications, calls) by
+// slot with generation counters. Pending events name an entity as
+// (slot, generation); ok reports whether that incarnation is still alive,
+// which implements the lazy cancellation the closure-based engine got from
+// captured *simUser pointers — without allocating per entity. Slots are
+// recycled through a free list, and the generation bumps on reuse so stale
+// events can never resurrect a successor.
+type table struct {
+	gen  []int32
+	live []bool
+	val  []int32 // per-entity payload (application type index)
+	free []int32
+}
+
+func (t *table) add(val int32) (slot, gen int32) {
+	if n := len(t.free); n > 0 {
+		slot = t.free[n-1]
+		t.free = t.free[:n-1]
+		t.gen[slot]++
+		t.live[slot] = true
+		t.val[slot] = val
+		return slot, t.gen[slot]
+	}
+	slot = int32(len(t.gen))
+	t.gen = append(t.gen, 0)
+	t.live = append(t.live, true)
+	t.val = append(t.val, val)
+	return slot, 0
+}
+
+func (t *table) kill(slot int32) {
+	t.live[slot] = false
+	t.free = append(t.free, slot)
+}
+
+func (t *table) ok(slot, gen int32) bool {
+	return t.live[slot] && t.gen[slot] == gen
 }
 
 // message is one queued message.
@@ -101,6 +190,16 @@ type Engine struct {
 
 	meas *Measurements
 
+	// Installed sources by concrete type; event.src indexes into the
+	// matching slice, so dispatch is a direct switch with no interface
+	// method call on the hot path.
+	haps     []*HAPSource
+	poissons []*PoissonSource
+	onoffs   []*OnOffSource
+	cbrs     []*CBRSource
+	mmpps    []*MMPPSource
+	css      []*CSSource
+
 	// Populations maintained by sources for tracing.
 	users int
 	apps  int
@@ -109,11 +208,20 @@ type Engine struct {
 	departures int64
 	maxEvents  int64
 	processed  int64
+	truncated  bool
 
 	// served, when set, is invoked after each service completion with the
 	// message class; the HAP-CS source uses it to trigger responses.
 	served func(class int)
 }
+
+// Pre-sizing for the event heap and message queue: large enough that
+// typical runs never grow them, small enough to be irrelevant for tiny
+// ones (a few tens of KiB per engine).
+const (
+	initialHeapCap  = 1 << 12
+	initialQueueCap = 1 << 10
+)
 
 // NewEngine creates an engine running to the given simulated horizon,
 // with the supplied service-time random stream.
@@ -121,7 +229,14 @@ func NewEngine(horizon float64, rng *rand.Rand, meas *Measurements) *Engine {
 	if horizon <= 0 {
 		panic("sim: horizon must be positive")
 	}
-	e := &Engine{horizon: horizon, rng: rng, meas: meas, maxEvents: 1 << 62}
+	e := &Engine{
+		horizon:   horizon,
+		rng:       rng,
+		meas:      meas,
+		maxEvents: 1 << 62,
+		events:    make(eventHeap, 0, initialHeapCap),
+		queue:     make([]message, 0, initialQueueCap),
+	}
 	if meas == nil {
 		e.meas = NewMeasurements(MeasureConfig{})
 	}
@@ -133,31 +248,144 @@ func (e *Engine) Now() float64 { return e.now }
 
 // Schedule enqueues fire to run at absolute time t (>= Now). Events beyond
 // the horizon are still queued; Run stops at the horizon regardless.
+//
+// Each call allocates the closure it is handed; sources on the hot path
+// use typed events (scheduleEv) instead, which allocate nothing.
 func (e *Engine) Schedule(t float64, fire func()) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling into the past (%v < %v)", t, e.now))
 	}
 	e.seq++
-	e.events.push(event{t: t, seq: e.seq, fire: fire})
+	e.events.push(event{t: t, seq: e.seq, kind: evFunc, fire: fire})
 }
 
 // ScheduleAfter enqueues fire after a delay.
 func (e *Engine) ScheduleAfter(d float64, fire func()) { e.Schedule(e.now+d, fire) }
 
+// scheduleEv enqueues a typed event at absolute time t.
+func (e *Engine) scheduleEv(t float64, kind eventKind, src, a, b, c int32) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling into the past (%v < %v)", t, e.now))
+	}
+	e.seq++
+	e.events.push(event{t: t, seq: e.seq, kind: kind, src: src, a: a, b: b, c: c})
+}
+
+// scheduleEvAfter enqueues a typed event after a delay.
+func (e *Engine) scheduleEvAfter(d float64, kind eventKind, src, a, b, c int32) {
+	e.scheduleEv(e.now+d, kind, src, a, b, c)
+}
+
+// dispatch routes one event to its handler. The switch covers every typed
+// kind with a direct concrete-type method call; only evFunc events (public
+// Schedule API) go through a function value.
+func (e *Engine) dispatch(ev *event) {
+	switch ev.kind {
+	case evServiceDone:
+		e.completeService()
+	case evHAPEmit:
+		e.haps[ev.src].emit(ev.a, ev.b, ev.c)
+	case evHAPSpawn:
+		e.haps[ev.src].spawn(ev.a, ev.b, ev.c)
+	case evHAPAppDepart:
+		e.haps[ev.src].appDepart(ev.a, ev.b)
+	case evHAPUserDepart:
+		e.haps[ev.src].userDepart(ev.a, ev.b)
+	case evHAPUserArrive:
+		e.haps[ev.src].userArrive()
+	case evPoissonArrive:
+		e.poissons[ev.src].arrive()
+	case evOnOffArrive:
+		e.onoffs[ev.src].callArrive()
+	case evOnOffDepart:
+		e.onoffs[ev.src].callDepart(ev.a, ev.b)
+	case evOnOffEmit:
+		e.onoffs[ev.src].emit(ev.a, ev.b)
+	case evCBREmit:
+		e.cbrs[ev.src].emit()
+	case evMMPPSwitch:
+		e.mmpps[ev.src].switchState(ev.a)
+	case evMMPPArrive:
+		e.mmpps[ev.src].arrive(ev.a)
+	case evCSUserArrive:
+		e.css[ev.src].userArrive()
+	case evCSUserDepart:
+		e.css[ev.src].userDepart(ev.a, ev.b)
+	case evCSSpawn:
+		e.css[ev.src].spawn(ev.a, ev.b, ev.c)
+	case evCSAppDepart:
+		e.css[ev.src].appDepart(ev.a, ev.b)
+	case evCSOpen:
+		e.css[ev.src].open(ev.a, ev.b, ev.c)
+	case evCSSendReq:
+		e.css[ev.src].sendRequest(ev.a)
+	case evCSSendResp:
+		e.css[ev.src].sendResponse(ev.a)
+	case evFunc:
+		ev.fire()
+	default:
+		panic(fmt.Sprintf("sim: unknown event kind %d", ev.kind))
+	}
+}
+
+// Source registration: Install calls one of these to obtain the slot that
+// the source's typed events carry in event.src.
+
+func (e *Engine) registerHAP(s *HAPSource) int32 {
+	e.haps = append(e.haps, s)
+	return int32(len(e.haps) - 1)
+}
+
+func (e *Engine) registerPoisson(s *PoissonSource) int32 {
+	e.poissons = append(e.poissons, s)
+	return int32(len(e.poissons) - 1)
+}
+
+func (e *Engine) registerOnOff(s *OnOffSource) int32 {
+	e.onoffs = append(e.onoffs, s)
+	return int32(len(e.onoffs) - 1)
+}
+
+func (e *Engine) registerCBR(s *CBRSource) int32 {
+	e.cbrs = append(e.cbrs, s)
+	return int32(len(e.cbrs) - 1)
+}
+
+func (e *Engine) registerMMPP(s *MMPPSource) int32 {
+	e.mmpps = append(e.mmpps, s)
+	return int32(len(e.mmpps) - 1)
+}
+
+func (e *Engine) registerCS(s *CSSource) int32 {
+	e.css = append(e.css, s)
+	return int32(len(e.css) - 1)
+}
+
 // Run processes events until the horizon or event budget is exhausted.
+// When the budget cuts the run short the clock stays at the last processed
+// event and Truncated reports true; measurements always close at
+// min(now, horizon), never at a horizon the run did not reach.
 func (e *Engine) Run() {
 	e.meas.start(e.now, e.QueueLen(), e.users, e.apps)
-	for len(e.events) > 0 && e.processed < e.maxEvents {
+	for len(e.events) > 0 {
+		if e.processed >= e.maxEvents {
+			e.truncated = true
+			break
+		}
 		ev := e.events.pop()
 		if ev.t > e.horizon {
 			e.now = e.horizon
 			break
 		}
 		e.now = ev.t
-		ev.fire()
+		e.dispatch(&ev)
 		e.processed++
 	}
-	e.meas.finish(e.now, e.QueueLen())
+	end := e.now
+	if end > e.horizon {
+		end = e.horizon
+	}
+	e.meas.finish(end, e.QueueLen())
 }
 
 // SetMaxEvents bounds the number of processed events (safety valve for
@@ -166,6 +394,10 @@ func (e *Engine) SetMaxEvents(n int64) { e.maxEvents = n }
 
 // Processed returns the number of events fired.
 func (e *Engine) Processed() int64 { return e.processed }
+
+// Truncated reports whether Run stopped on the event budget before
+// reaching the horizon.
+func (e *Engine) Truncated() bool { return e.truncated }
 
 // Arrivals returns the number of messages that entered the queue.
 func (e *Engine) Arrivals() int64 { return e.arrivals }
@@ -191,7 +423,7 @@ func (e *Engine) ArriveMessage(svc dist.Distribution, class int) {
 func (e *Engine) startService() {
 	e.busy = true
 	svcTime := e.queue[e.qhead].svc.Sample(e.rng)
-	e.Schedule(e.now+svcTime, e.completeService)
+	e.scheduleEv(e.now+svcTime, evServiceDone, 0, 0, 0, 0)
 }
 
 func (e *Engine) completeService() {
@@ -244,7 +476,8 @@ func (e *Engine) Measurements() *Measurements { return e.meas }
 
 // Source generates traffic into an engine.
 type Source interface {
-	// Install schedules the source's initial events.
+	// Install registers the source with the engine and schedules its
+	// initial events.
 	Install(e *Engine)
 	// String describes the source for reports.
 	String() string

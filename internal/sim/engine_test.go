@@ -1,0 +1,203 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"hap/internal/dist"
+)
+
+// TestEventHeapPopOrder is a property test: under random pushes (with
+// heavy time ties), pop order must equal the (t, seq) sort order — the
+// engine's determinism guarantee that ties break by schedule order.
+func TestEventHeapPopOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(500)
+		var h eventHeap
+		ref := make([]event, 0, n)
+		for i := 0; i < n; i++ {
+			// Coarse times force frequent ties so seq ordering is exercised.
+			ev := event{t: float64(rng.Intn(40)), seq: uint64(i + 1), a: int32(i)}
+			h.push(ev)
+			ref = append(ref, ev)
+		}
+		sort.Slice(ref, func(i, j int) bool {
+			if ref[i].t != ref[j].t {
+				return ref[i].t < ref[j].t
+			}
+			return ref[i].seq < ref[j].seq
+		})
+		for i, want := range ref {
+			got := h.pop()
+			if got.t != want.t || got.seq != want.seq || got.a != want.a {
+				t.Fatalf("trial %d: pop %d = (t=%v seq=%d), want (t=%v seq=%d)",
+					trial, i, got.t, got.seq, want.t, want.seq)
+			}
+		}
+		if len(h) != 0 {
+			t.Fatalf("trial %d: heap not drained, %d left", trial, len(h))
+		}
+	}
+}
+
+// TestEventHeapInterleavedPushPop mixes pushes and pops, mirroring the
+// engine's real access pattern, and checks the popped stream never goes
+// backwards in (t, seq).
+func TestEventHeapInterleavedPushPop(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var h eventHeap
+	var seq uint64
+	lastT, lastSeq := math.Inf(-1), uint64(0)
+	pops := 0
+	for step := 0; step < 5000; step++ {
+		if len(h) == 0 || rng.Intn(3) > 0 {
+			seq++
+			// Push times never before the last popped time, as the engine
+			// guarantees (no scheduling into the past).
+			base := lastT
+			if math.IsInf(base, -1) {
+				base = 0
+			}
+			h.push(event{t: base + float64(rng.Intn(10)), seq: seq})
+		} else {
+			got := h.pop()
+			pops++
+			if got.t < lastT || (got.t == lastT && got.seq <= lastSeq) {
+				t.Fatalf("step %d: pop (t=%v seq=%d) after (t=%v seq=%d)",
+					step, got.t, got.seq, lastT, lastSeq)
+			}
+			lastT, lastSeq = got.t, got.seq
+		}
+	}
+	if pops == 0 {
+		t.Fatal("no pops exercised")
+	}
+}
+
+// constDist is a degenerate service law for exact FIFO arithmetic.
+type constDist struct{ v float64 }
+
+func (d constDist) Sample(*rand.Rand) float64 { return d.v }
+func (d constDist) Mean() float64             { return d.v }
+func (d constDist) Var() float64              { return 0 }
+func (d constDist) String() string            { return "const" }
+
+// TestQueueCompactionPreservesFIFODelays is a regression test for the
+// sliding-window queue: a long busy period pushes qhead far past the
+// compaction threshold, and every measured delay must still equal the
+// exact FIFO value.
+func TestQueueCompactionPreservesFIFODelays(t *testing.T) {
+	const n = 500 // qhead crosses the >64, qhead*2>len(queue) threshold many times
+	streams := dist.NewStreams(1)
+	e := NewEngine(1e6, streams.Next(), NewMeasurements(MeasureConfig{}))
+	svc := constDist{v: 1.0}
+	// Burst of n arrivals 1 ms apart: the queue builds to ~n, then drains
+	// one departure per second, compacting repeatedly along the way.
+	for i := 0; i < n; i++ {
+		at := float64(i) * 0.001
+		e.Schedule(at, func() { e.ArriveMessage(svc, 0) })
+	}
+	e.Run()
+	if e.Departures() != n {
+		t.Fatalf("departures = %d, want %d", e.Departures(), n)
+	}
+	if got := e.QueueLen(); got != 0 {
+		t.Fatalf("queue not drained: %d", got)
+	}
+	// Exact FIFO: message i arrives at i·0.001, departs at i+1 (unit
+	// services back to back from t=0), so delay_i = (i+1) − i·0.001.
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(i+1) - float64(i)*0.001
+	}
+	wantMean := sum / n
+	if got := e.Measurements().MeanDelay(); math.Abs(got-wantMean) > 1e-9 {
+		t.Fatalf("mean delay %v, want exact FIFO %v", got, wantMean)
+	}
+	if got := e.Measurements().Delays.Max(); math.Abs(got-(float64(n)-float64(n-1)*0.001)) > 1e-9 {
+		t.Fatalf("max delay %v inconsistent with FIFO order", got)
+	}
+}
+
+// TestTruncatedRun checks the satellite fix: exhausting the event budget
+// must mark the result truncated and close measurements at the reached
+// clock, not the horizon.
+func TestTruncatedRun(t *testing.T) {
+	res := RunPoisson(100, 200, Config{Horizon: 1e9, Seed: 1, MaxEvents: 5000})
+	if !res.Truncated {
+		t.Fatal("budget-limited run not marked Truncated")
+	}
+	if res.Events > 5000 {
+		t.Fatalf("event cap exceeded: %d", res.Events)
+	}
+	// The observation window must end where the run actually stopped:
+	// ~5000 events at rate 100/s (two events per message) is a few tens of
+	// simulated seconds, nowhere near the 1e9 horizon.
+	if el := res.Meas.Queue.Elapsed(); el <= 0 || el > 1e3 {
+		t.Fatalf("measurement window %v inconsistent with truncation point", el)
+	}
+
+	full := RunPoisson(100, 200, Config{Horizon: 10, Seed: 1})
+	if full.Truncated {
+		t.Fatal("horizon-complete run marked Truncated")
+	}
+	if el := full.Meas.Queue.Elapsed(); math.Abs(el-10) > 1e-9 {
+		t.Fatalf("full run window %v, want 10", el)
+	}
+}
+
+// TestMeasurementsMerge verifies the exact-combination contract of Merge
+// against the component statistics of two independent runs.
+func TestMeasurementsMerge(t *testing.T) {
+	mcfg := MeasureConfig{Warmup: 10, TrackBusy: true, DelayHistBins: 20, DelayHistMax: 2}
+	a := RunPoisson(5, 10, Config{Horizon: 2000, Seed: 1, Measure: mcfg})
+	b := RunPoisson(5, 10, Config{Horizon: 3000, Seed: 2, Measure: mcfg})
+
+	nA, nB := a.Meas.Delays.N(), b.Meas.Delays.N()
+	meanA, meanB := a.Meas.MeanDelay(), b.Meas.MeanDelay()
+	qA, qB := a.Meas.MeanQueue(), b.Meas.MeanQueue()
+	elA, elB := a.Meas.Queue.Elapsed(), b.Meas.Queue.Elapsed()
+	mountains := a.Meas.Busy.Mountains() + b.Meas.Busy.Mountains()
+	histN := a.Meas.DelayH.N() + b.Meas.DelayH.N()
+
+	a.Meas.Merge(b.Meas)
+	m := a.Meas
+	if m.Delays.N() != nA+nB {
+		t.Fatalf("merged N = %d, want %d", m.Delays.N(), nA+nB)
+	}
+	wantMean := (meanA*float64(nA) + meanB*float64(nB)) / float64(nA+nB)
+	if math.Abs(m.MeanDelay()-wantMean) > 1e-12 {
+		t.Fatalf("merged mean %v, want %v", m.MeanDelay(), wantMean)
+	}
+	if math.Abs(m.Queue.Elapsed()-(elA+elB)) > 1e-9 {
+		t.Fatalf("merged window %v, want %v", m.Queue.Elapsed(), elA+elB)
+	}
+	wantQ := (qA*elA + qB*elB) / (elA + elB)
+	if math.Abs(m.MeanQueue()-wantQ) > 1e-9 {
+		t.Fatalf("merged queue mean %v, want %v", m.MeanQueue(), wantQ)
+	}
+	if m.Busy.Mountains() != mountains {
+		t.Fatalf("merged mountains %d, want %d", m.Busy.Mountains(), mountains)
+	}
+	if m.DelayH.N() != histN {
+		t.Fatalf("merged histogram N %d, want %d", m.DelayH.N(), histN)
+	}
+}
+
+// TestMergePerClass checks class-wise delay merging, including growing the
+// receiver's class list.
+func TestMergePerClass(t *testing.T) {
+	a := RunPoisson(5, 10, Config{Horizon: 500, Seed: 3, Measure: MeasureConfig{ClassCount: 1}})
+	b := RunPoisson(5, 10, Config{Horizon: 500, Seed: 4, Measure: MeasureConfig{ClassCount: 2}})
+	n0 := a.Meas.ByClass[0].N() + b.Meas.ByClass[0].N()
+	a.Meas.Merge(b.Meas)
+	if len(a.Meas.ByClass) != 2 {
+		t.Fatalf("class list not grown: %d", len(a.Meas.ByClass))
+	}
+	if a.Meas.ByClass[0].N() != n0 {
+		t.Fatalf("class 0 N = %d, want %d", a.Meas.ByClass[0].N(), n0)
+	}
+}

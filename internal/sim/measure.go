@@ -183,6 +183,40 @@ func (m *Measurements) finish(t float64, qlen int) {
 	}
 }
 
+// Merge folds another replication's measurements into m, combining every
+// aggregate statistic exactly: delays (overall and per-class), the
+// time-weighted queue average (observation windows add), busy periods,
+// the delay histogram (identical geometry required) and retained arrival
+// instants (up to the receiver's KeepArrivalTimes cap; each replication's
+// instants keep their own clock). Per-run traces — QueueTrace, PopTrace
+// and the running mean — are timelines of a single sample path and do not
+// aggregate; the receiver's are kept untouched. Merge completed runs only.
+func (m *Measurements) Merge(o *Measurements) {
+	m.Delays.Merge(&o.Delays)
+	if len(o.ByClass) > len(m.ByClass) {
+		grown := make([]stats.Welford, len(o.ByClass))
+		copy(grown, m.ByClass)
+		m.ByClass = grown
+	}
+	for i := range o.ByClass {
+		m.ByClass[i].Merge(&o.ByClass[i])
+	}
+	m.Queue.Merge(&o.Queue)
+	m.Busy.Merge(&o.Busy)
+	if m.DelayH != nil && o.DelayH != nil {
+		m.DelayH.Merge(o.DelayH)
+	}
+	if m.cfg.KeepArrivalTimes > 0 {
+		room := m.cfg.KeepArrivalTimes - len(m.Arrivals)
+		if room > len(o.Arrivals) {
+			room = len(o.Arrivals)
+		}
+		if room > 0 {
+			m.Arrivals = append(m.Arrivals, o.Arrivals[:room]...)
+		}
+	}
+}
+
 // MeanDelay returns the mean message sojourn time.
 func (m *Measurements) MeanDelay() float64 { return m.Delays.Mean() }
 

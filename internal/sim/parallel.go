@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"math"
+	"time"
+
+	"hap/internal/par"
+	"hap/internal/stats"
+)
+
+// ReplicatedResult aggregates n independent replications of one scenario.
+type ReplicatedResult struct {
+	// Reps holds the per-replication results in replication order,
+	// independent of how many workers ran them.
+	Reps []*RunResult
+	// Merged combines every replication's measurements (see
+	// Measurements.Merge) into a fresh collector; the per-replication
+	// results in Reps are left untouched. Per-run traces (queue trace,
+	// population trace, running mean) stay on the individual Reps.
+	Merged *Measurements
+	// Delay summarises the across-replication mean delays; HalfWidth is
+	// the ~95% confidence half width of their grand mean.
+	Delay     stats.Welford
+	HalfWidth float64
+
+	Arrivals   int64
+	Departures int64
+	Events     int64
+	// Truncated reports whether any replication hit its event budget.
+	Truncated bool
+	Elapsed   time.Duration
+}
+
+// MergeRuns folds per-replication results into one aggregate. Nil entries
+// (possible only if a caller filtered) are skipped. Merged is a fresh
+// collector configured like the first replication's, so no RunResult is
+// mutated; Elapsed sums the per-replication wall times until ReplicateRuns
+// overwrites it with the true wall clock of the fan-out.
+func MergeRuns(runs []*RunResult) *ReplicatedResult {
+	agg := &ReplicatedResult{Reps: runs}
+	for _, r := range runs {
+		if r == nil {
+			continue
+		}
+		if agg.Merged == nil {
+			agg.Merged = NewMeasurements(r.Meas.cfg)
+		}
+		agg.Merged.Merge(r.Meas)
+		agg.Delay.Add(r.Meas.MeanDelay())
+		agg.Arrivals += r.Arrivals
+		agg.Departures += r.Departures
+		agg.Events += r.Events
+		agg.Truncated = agg.Truncated || r.Truncated
+		agg.Elapsed += r.Elapsed
+	}
+	if n := agg.Delay.N(); n >= 2 {
+		agg.HalfWidth = 1.96 * agg.Delay.Std() / math.Sqrt(float64(n))
+	}
+	return agg
+}
+
+// ReplicateRuns executes n independent replications of run across workers
+// (<= 0 selects GOMAXPROCS, 1 runs serially) and merges the results.
+// Replication i receives the well-separated seed dist.SubSeed(seedBase, i),
+// so the aggregate is bit-identical for every worker count — parallelism
+// changes wall-clock time, never the statistics.
+func ReplicateRuns(n int, seedBase int64, workers int, run func(rep int, seed int64) *RunResult) *ReplicatedResult {
+	start := time.Now()
+	agg := MergeRuns(par.ReplicateN(n, seedBase, workers, run))
+	agg.Elapsed = time.Since(start)
+	return agg
+}

@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"testing"
+
+	"hap/internal/core"
+	"hap/internal/dist"
+	"hap/internal/par"
+)
+
+// TestParallelReplicationsBitIdentical is the determinism-under-parallelism
+// guarantee: the same (seedBase, n) must produce bit-identical
+// per-replication and merged statistics at every worker count, because each
+// replication's randomness derives only from its index.
+func TestParallelReplicationsBitIdentical(t *testing.T) {
+	m := core.PaperParams(20)
+	run := func(rep int, seed int64) *RunResult {
+		return RunHAP(m, Config{Horizon: 3000, Seed: seed,
+			Measure: MeasureConfig{Warmup: 100, TrackBusy: true}})
+	}
+	const n, seedBase = 6, 1993
+	serial := ReplicateRuns(n, seedBase, 1, run)
+	for _, workers := range []int{2, 4, 8} {
+		parl := ReplicateRuns(n, seedBase, workers, run)
+		for i := range serial.Reps {
+			s, p := serial.Reps[i], parl.Reps[i]
+			if s.Arrivals != p.Arrivals || s.Departures != p.Departures || s.Events != p.Events {
+				t.Fatalf("workers=%d rep %d: counts diverge (%d/%d/%d vs %d/%d/%d)",
+					workers, i, s.Arrivals, s.Departures, s.Events, p.Arrivals, p.Departures, p.Events)
+			}
+			if s.Meas.MeanDelay() != p.Meas.MeanDelay() {
+				t.Fatalf("workers=%d rep %d: mean delay %v != %v",
+					workers, i, s.Meas.MeanDelay(), p.Meas.MeanDelay())
+			}
+		}
+		if serial.Delay.Mean() != parl.Delay.Mean() || serial.Delay.Std() != parl.Delay.Std() {
+			t.Fatalf("workers=%d: replication summary diverged", workers)
+		}
+		if serial.Merged.MeanQueue() != parl.Merged.MeanQueue() {
+			t.Fatalf("workers=%d: merged queue mean diverged", workers)
+		}
+		if serial.Arrivals != parl.Arrivals || serial.Events != parl.Events {
+			t.Fatalf("workers=%d: totals diverged", workers)
+		}
+	}
+}
+
+// TestReplicateRunsMatchesManualSeeding pins the seed-derivation contract:
+// replication i must see dist.SubSeed(seedBase, i).
+func TestReplicateRunsMatchesManualSeeding(t *testing.T) {
+	run := func(rep int, seed int64) *RunResult {
+		return RunPoisson(5, 10, Config{Horizon: 1000, Seed: seed})
+	}
+	agg := ReplicateRuns(4, 7, 2, run)
+	for i := 0; i < 4; i++ {
+		want := RunPoisson(5, 10, Config{Horizon: 1000, Seed: dist.SubSeed(7, i)})
+		if agg.Reps[i].Arrivals != want.Arrivals ||
+			agg.Reps[i].Meas.MeanDelay() != want.Meas.MeanDelay() {
+			t.Fatalf("rep %d does not match SubSeed(7,%d)", i, i)
+		}
+	}
+	if agg.Delay.N() != 4 {
+		t.Fatalf("summary N = %d", agg.Delay.N())
+	}
+	if agg.HalfWidth <= 0 {
+		t.Fatal("confidence half width not computed")
+	}
+}
+
+// TestParallelSweepDeterministic covers the sweep-point use of par.MapErr:
+// solver-style fan-outs must return index-ordered, worker-count-independent
+// results.
+func TestParallelSweepDeterministic(t *testing.T) {
+	caps := []float64{13, 17, 24, 30}
+	sweep := func(workers int) []float64 {
+		out, err := par.MapErr(len(caps), workers, func(i int) (float64, error) {
+			m := core.PaperParams(caps[i])
+			r := RunHAP(m, Config{Horizon: 2000, Seed: dist.SubSeed(5, i),
+				Measure: MeasureConfig{Warmup: 50}})
+			return r.Meas.MeanDelay(), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	serial := sweep(1)
+	parallel := sweep(4)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("sweep point %d diverged: %v vs %v", i, serial[i], parallel[i])
+		}
+	}
+}

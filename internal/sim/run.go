@@ -28,8 +28,12 @@ type RunResult struct {
 	Arrivals   int64
 	Departures int64
 	Events     int64
-	Elapsed    time.Duration
-	Source     string
+	// Truncated reports that the event budget (MaxEvents) stopped the run
+	// before the simulated horizon; measurements cover only the reached
+	// span.
+	Truncated bool
+	Elapsed   time.Duration
+	Source    string
 }
 
 // Run executes one simulation of the given source.
@@ -48,6 +52,7 @@ func Run(src Source, cfg Config) *RunResult {
 		Arrivals:   e.Arrivals(),
 		Departures: e.Departures(),
 		Events:     e.Processed(),
+		Truncated:  e.Truncated(),
 		Elapsed:    time.Since(start),
 		Source:     src.String(),
 	}

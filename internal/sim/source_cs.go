@@ -15,6 +15,10 @@ import (
 // command/result ping-pong. Requests and responses share the single
 // queue; classes are numbered 2k (request) and 2k+1 (response) for
 // message type k in declaration order.
+//
+// Like HAPSource, users and applications live in slot tables and every
+// clock — including the triggered request/response continuations — is a
+// typed event, so the exchange machinery allocates nothing per message.
 type CSSource struct {
 	Model           *core.CSModel
 	StartStationary bool
@@ -23,12 +27,17 @@ type CSSource struct {
 	// immediately).
 	ThinkTime dist.Distribution
 
-	rng     *rand.Rand
-	e       *Engine
-	svcReq  []dist.Distribution
-	svcResp []dist.Distribution
-	pResp   []float64
-	pNext   []float64
+	rng       *rand.Rand
+	e         *Engine
+	id        int32
+	users     table
+	apps      table
+	svcReq    []dist.Distribution
+	svcResp   []dist.Distribution
+	pResp     []float64
+	pNext     []float64
+	openRate  []float64 // spontaneous opening rate λ'' per flattened type
+	typeStart []int     // first flattened type index per application type
 }
 
 // NewCSSource builds a client-server source.
@@ -38,11 +47,13 @@ func NewCSSource(m *core.CSModel, rng *rand.Rand) *CSSource {
 	}
 	s := &CSSource{Model: m, StartStationary: true, rng: rng}
 	for _, a := range m.Apps {
+		s.typeStart = append(s.typeStart, len(s.svcReq))
 		for _, msg := range a.Messages {
 			s.svcReq = append(s.svcReq, dist.NewExponential(msg.MuReq))
 			s.svcResp = append(s.svcResp, dist.NewExponential(msg.MuResp))
 			s.pResp = append(s.pResp, msg.PResp)
 			s.pNext = append(s.pNext, msg.PNext)
+			s.openRate = append(s.openRate, msg.Lambda)
 		}
 	}
 	return s
@@ -56,6 +67,7 @@ func (s *CSSource) String() string { return fmt.Sprintf("hap-cs(%s)", s.Model.Na
 // Install wires the completion hook and schedules the hierarchy.
 func (s *CSSource) Install(e *Engine) {
 	s.e = e
+	s.id = e.registerCS(s)
 	e.SetServedHook(s.onServed)
 	if s.StartStationary {
 		nu := s.Model.Nu()
@@ -63,76 +75,81 @@ func (s *CSSource) Install(e *Engine) {
 			s.addUser()
 		}
 	}
-	e.ScheduleAfter(s.rng.ExpFloat64()/s.Model.Lambda, s.userArrival)
+	e.scheduleEvAfter(s.rng.ExpFloat64()/s.Model.Lambda, evCSUserArrive, s.id, 0, 0, 0)
 }
 
-func (s *CSSource) userArrival() {
+func (s *CSSource) userArrive() {
 	s.addUser()
-	s.e.ScheduleAfter(s.rng.ExpFloat64()/s.Model.Lambda, s.userArrival)
+	s.e.scheduleEvAfter(s.rng.ExpFloat64()/s.Model.Lambda, evCSUserArrive, s.id, 0, 0, 0)
 }
 
 func (s *CSSource) addUser() {
-	u := &simUser{alive: true}
+	slot, gen := s.users.add(0)
 	s.e.SetUsers(s.e.Users() + 1)
-	s.e.ScheduleAfter(s.rng.ExpFloat64()/s.Model.Mu, func() {
-		u.alive = false
-		s.e.SetUsers(s.e.Users() - 1)
-	})
+	s.e.scheduleEvAfter(s.rng.ExpFloat64()/s.Model.Mu, evCSUserDepart, s.id, slot, gen, 0)
 	for i := range s.Model.Apps {
-		s.scheduleSpawn(u, i)
+		s.scheduleSpawn(slot, gen, int32(i))
 	}
 }
 
-func (s *CSSource) scheduleSpawn(u *simUser, ti int) {
-	s.e.ScheduleAfter(s.rng.ExpFloat64()/s.Model.Apps[ti].Lambda, func() {
-		if !u.alive {
-			return
-		}
-		s.addApp(ti)
-		s.scheduleSpawn(u, ti)
-	})
+func (s *CSSource) userDepart(slot, gen int32) {
+	if !s.users.ok(slot, gen) {
+		return
+	}
+	s.users.kill(slot)
+	s.e.SetUsers(s.e.Users() - 1)
 }
 
-func (s *CSSource) addApp(ti int) {
-	a := &simApp{alive: true, ti: ti}
+func (s *CSSource) scheduleSpawn(slot, gen, ti int32) {
+	s.e.scheduleEvAfter(s.rng.ExpFloat64()/s.Model.Apps[ti].Lambda, evCSSpawn, s.id, slot, gen, ti)
+}
+
+func (s *CSSource) spawn(slot, gen, ti int32) {
+	if !s.users.ok(slot, gen) {
+		return
+	}
+	s.addApp(ti)
+	s.scheduleSpawn(slot, gen, ti)
+}
+
+func (s *CSSource) addApp(ti int32) {
+	slot, gen := s.apps.add(ti)
 	s.e.SetApps(s.e.Apps() + 1)
-	s.e.ScheduleAfter(s.rng.ExpFloat64()/s.Model.Apps[ti].Mu, func() {
-		a.alive = false
-		s.e.SetApps(s.e.Apps() - 1)
-	})
-	base := s.typeBase(ti)
+	s.e.scheduleEvAfter(s.rng.ExpFloat64()/s.Model.Apps[ti].Mu, evCSAppDepart, s.id, slot, gen, 0)
+	base := s.typeStart[ti]
 	for j := range s.Model.Apps[ti].Messages {
-		s.scheduleOpen(a, j, base+j)
+		s.scheduleOpen(slot, gen, int32(base+j))
 	}
 }
 
-// typeBase returns the flattened message-type index of (ti, 0).
-func (s *CSSource) typeBase(ti int) int {
-	base := 0
-	for i := 0; i < ti; i++ {
-		base += len(s.Model.Apps[i].Messages)
+func (s *CSSource) appDepart(slot, gen int32) {
+	if !s.apps.ok(slot, gen) {
+		return
 	}
-	return base
+	s.apps.kill(slot)
+	s.e.SetApps(s.e.Apps() - 1)
 }
 
-// scheduleOpen emits exchange-opening requests for message type k of a
-// live application.
-func (s *CSSource) scheduleOpen(a *simApp, j, k int) {
-	s.e.ScheduleAfter(s.rng.ExpFloat64()/s.Model.Apps[a.ti].Messages[j].Lambda, func() {
-		if !a.alive {
-			return
-		}
-		s.sendRequest(k)
-		s.scheduleOpen(a, j, k)
-	})
+// scheduleOpen arms the exchange-opening clock for flattened message type k
+// of a live application.
+func (s *CSSource) scheduleOpen(slot, gen, k int32) {
+	s.e.scheduleEvAfter(s.rng.ExpFloat64()/s.openRate[k], evCSOpen, s.id, slot, gen, k)
 }
 
-func (s *CSSource) sendRequest(k int) {
-	s.e.ArriveMessage(s.svcReq[k], 2*k)
+func (s *CSSource) open(slot, gen, k int32) {
+	if !s.apps.ok(slot, gen) {
+		return
+	}
+	s.sendRequest(k)
+	s.scheduleOpen(slot, gen, k)
 }
 
-func (s *CSSource) sendResponse(k int) {
-	s.e.ArriveMessage(s.svcResp[k], 2*k+1)
+func (s *CSSource) sendRequest(k int32) {
+	s.e.ArriveMessage(s.svcReq[k], int(2*k))
+}
+
+func (s *CSSource) sendResponse(k int32) {
+	s.e.ArriveMessage(s.svcResp[k], int(2*k+1))
 }
 
 // onServed continues the exchange: served request → maybe response;
@@ -147,22 +164,23 @@ func (s *CSSource) onServed(class int) {
 	if class%2 == 0 {
 		// Request finished: trigger the response.
 		if s.rng.Float64() < s.pResp[k] {
-			s.after(func() { s.sendResponse(k) })
+			s.after(evCSSendResp, int32(k))
 		}
 		return
 	}
 	// Response finished: maybe the client issues the next request.
 	if s.rng.Float64() < s.pNext[k] {
-		s.after(func() { s.sendRequest(k) })
+		s.after(evCSSendReq, int32(k))
 	}
 }
 
-func (s *CSSource) after(f func()) {
-	if s.ThinkTime == nil {
-		// Schedule rather than call inline so the engine finishes the
-		// current completion (queue pop, stats) first.
-		s.e.ScheduleAfter(0, f)
-		return
+// after schedules a triggered message. With no think time the delay is
+// zero — scheduled rather than delivered inline so the engine finishes the
+// current completion (queue pop, stats) first.
+func (s *CSSource) after(kind eventKind, k int32) {
+	var d float64
+	if s.ThinkTime != nil {
+		d = s.ThinkTime.Sample(s.rng)
 	}
-	s.e.ScheduleAfter(s.ThinkTime.Sample(s.rng), f)
+	s.e.scheduleEvAfter(d, kind, s.id, k, 0, 0)
 }

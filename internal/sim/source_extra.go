@@ -20,6 +20,7 @@ type CBRSource struct {
 
 	rng *rand.Rand
 	e   *Engine
+	id  int32
 }
 
 // NewCBRSource builds a constant-rate source with one message every
@@ -36,7 +37,8 @@ func (s *CBRSource) String() string { return fmt.Sprintf("cbr(interval=%g)", s.I
 // Install schedules the first emission.
 func (s *CBRSource) Install(e *Engine) {
 	s.e = e
-	e.ScheduleAfter(s.Phase+s.nextGap(), s.emit)
+	s.id = e.registerCBR(s)
+	e.scheduleEvAfter(s.Phase+s.nextGap(), evCBREmit, s.id, 0, 0, 0)
 }
 
 func (s *CBRSource) nextGap() float64 {
@@ -52,7 +54,7 @@ func (s *CBRSource) nextGap() float64 {
 
 func (s *CBRSource) emit() {
 	s.e.ArriveMessage(s.Svc, s.Class)
-	s.e.ScheduleAfter(s.nextGap(), s.emit)
+	s.e.scheduleEvAfter(s.nextGap(), evCBREmit, s.id, 0, 0, 0)
 }
 
 // Multi bundles several sources into one: installing it installs all of

@@ -13,6 +13,11 @@ import (
 // Applications outlive their user ("a user has departed but the
 // application this user invoked may be still active"), exactly as the
 // model specifies.
+//
+// Users and applications live in slot tables (see table in engine.go);
+// every clock — user departure, application spawn, application departure,
+// message emission — is a typed event carrying (slot, generation), so the
+// steady-state event stream allocates nothing.
 type HAPSource struct {
 	Model *core.Model
 	// StartStationary samples the initial user/application populations
@@ -22,17 +27,13 @@ type HAPSource struct {
 	// ServiceOverride, when non-nil, replaces every message service law.
 	ServiceOverride dist.Distribution
 
-	rng *rand.Rand
-	e   *Engine
-	svc [][]dist.Distribution // [appType][msgType]
-	cls [][]int               // flattened class index per (i,j)
-}
-
-type simUser struct{ alive bool }
-
-type simApp struct {
-	alive bool
-	ti    int
+	rng   *rand.Rand
+	e     *Engine
+	id    int32
+	users table
+	apps  table
+	svc   [][]dist.Distribution // [appType][msgType]
+	cls   [][]int               // flattened class index per (i,j)
 }
 
 // NewHAPSource builds a source for the model with its own random stream.
@@ -64,6 +65,7 @@ func (s *HAPSource) String() string { return fmt.Sprintf("hap(%s)", s.Model) }
 // Install schedules the initial population and the first user arrival.
 func (s *HAPSource) Install(e *Engine) {
 	s.e = e
+	s.id = e.registerHAP(s)
 	if s.StartStationary {
 		nUsers := dist.PoissonSample(s.rng, s.Model.Nu())
 		for k := 0; k < nUsers; k++ {
@@ -79,70 +81,88 @@ func (s *HAPSource) Install(e *Engine) {
 			meanOrphans := (s.Model.Nu() - float64(nUsers)) * s.Model.AppLoad(i)
 			if meanOrphans > 0 {
 				for k := 0; k < dist.PoissonSample(s.rng, meanOrphans); k++ {
-					s.addApp(i)
+					s.addApp(int32(i))
 				}
 			}
 		}
 	}
-	s.e.ScheduleAfter(s.exp(s.Model.Lambda), s.userArrival)
+	s.e.scheduleEvAfter(s.exp(s.Model.Lambda), evHAPUserArrive, s.id, 0, 0, 0)
 }
 
 func (s *HAPSource) exp(rate float64) float64 { return s.rng.ExpFloat64() / rate }
 
-func (s *HAPSource) userArrival() {
+func (s *HAPSource) userArrive() {
 	s.addUser()
-	s.e.ScheduleAfter(s.exp(s.Model.Lambda), s.userArrival)
+	s.e.scheduleEvAfter(s.exp(s.Model.Lambda), evHAPUserArrive, s.id, 0, 0, 0)
 }
 
 // addUser creates a live user with its departure and per-type spawn clocks.
 func (s *HAPSource) addUser() {
-	u := &simUser{alive: true}
+	slot, gen := s.users.add(0)
 	s.e.SetUsers(s.e.Users() + 1)
-	s.e.ScheduleAfter(s.exp(s.Model.Mu), func() {
-		u.alive = false
-		s.e.SetUsers(s.e.Users() - 1)
-	})
+	s.e.scheduleEvAfter(s.exp(s.Model.Mu), evHAPUserDepart, s.id, slot, gen, 0)
 	for i := range s.Model.Apps {
-		s.scheduleSpawn(u, i)
+		s.scheduleSpawn(slot, gen, int32(i))
 	}
 }
 
-func (s *HAPSource) scheduleSpawn(u *simUser, ti int) {
-	s.e.ScheduleAfter(s.exp(s.Model.Apps[ti].Lambda), func() {
-		if !u.alive {
-			return // lazily cancelled by the user's departure
-		}
-		s.addApp(ti)
-		s.scheduleSpawn(u, ti)
-	})
+func (s *HAPSource) userDepart(slot, gen int32) {
+	if !s.users.ok(slot, gen) {
+		return
+	}
+	s.users.kill(slot)
+	s.e.SetUsers(s.e.Users() - 1)
+}
+
+func (s *HAPSource) scheduleSpawn(slot, gen, ti int32) {
+	s.e.scheduleEvAfter(s.exp(s.Model.Apps[ti].Lambda), evHAPSpawn, s.id, slot, gen, ti)
+}
+
+// spawn fires a user's application-invocation clock for type ti; it is
+// lazily cancelled by the user's departure via the generation check.
+func (s *HAPSource) spawn(slot, gen, ti int32) {
+	if !s.users.ok(slot, gen) {
+		return
+	}
+	s.addApp(ti)
+	s.scheduleSpawn(slot, gen, ti)
 }
 
 // addApp creates a live application instance with its departure and
 // per-message-type emission clocks.
-func (s *HAPSource) addApp(ti int) {
-	a := &simApp{alive: true, ti: ti}
+func (s *HAPSource) addApp(ti int32) {
+	slot, gen := s.apps.add(ti)
 	s.e.SetApps(s.e.Apps() + 1)
-	s.e.ScheduleAfter(s.exp(s.Model.Apps[ti].Mu), func() {
-		a.alive = false
-		s.e.SetApps(s.e.Apps() - 1)
-	})
+	s.e.scheduleEvAfter(s.exp(s.Model.Apps[ti].Mu), evHAPAppDepart, s.id, slot, gen, 0)
 	for j := range s.Model.Apps[ti].Messages {
-		s.scheduleEmit(a, j)
+		s.scheduleEmit(slot, gen, ti, int32(j))
 	}
 }
 
-func (s *HAPSource) scheduleEmit(a *simApp, j int) {
-	s.e.ScheduleAfter(s.exp(s.Model.Apps[a.ti].Messages[j].Lambda), func() {
-		if !a.alive {
-			return
-		}
-		svc := s.svc[a.ti][j]
-		if s.ServiceOverride != nil {
-			svc = s.ServiceOverride
-		}
-		s.e.ArriveMessage(svc, s.cls[a.ti][j])
-		s.scheduleEmit(a, j)
-	})
+func (s *HAPSource) appDepart(slot, gen int32) {
+	if !s.apps.ok(slot, gen) {
+		return
+	}
+	s.apps.kill(slot)
+	s.e.SetApps(s.e.Apps() - 1)
+}
+
+func (s *HAPSource) scheduleEmit(slot, gen, ti, j int32) {
+	s.e.scheduleEvAfter(s.exp(s.Model.Apps[ti].Messages[j].Lambda), evHAPEmit, s.id, slot, gen, j)
+}
+
+// emit fires an application's message clock for type j.
+func (s *HAPSource) emit(slot, gen, j int32) {
+	if !s.apps.ok(slot, gen) {
+		return
+	}
+	ti := s.apps.val[slot]
+	svc := s.svc[ti][j]
+	if s.ServiceOverride != nil {
+		svc = s.ServiceOverride
+	}
+	s.e.ArriveMessage(svc, s.cls[ti][j])
+	s.scheduleEmit(slot, gen, ti, j)
 }
 
 // PoissonSource generates Poisson(Rate) messages with the given service
@@ -152,6 +172,7 @@ type PoissonSource struct {
 	Svc  dist.Distribution
 	rng  *rand.Rand
 	e    *Engine
+	id   int32
 }
 
 // NewPoissonSource builds the baseline source.
@@ -167,12 +188,13 @@ func (s *PoissonSource) String() string { return fmt.Sprintf("poisson(rate=%g)",
 // Install schedules the first arrival.
 func (s *PoissonSource) Install(e *Engine) {
 	s.e = e
-	e.ScheduleAfter(s.rng.ExpFloat64()/s.Rate, s.arrive)
+	s.id = e.registerPoisson(s)
+	e.scheduleEvAfter(s.rng.ExpFloat64()/s.Rate, evPoissonArrive, s.id, 0, 0, 0)
 }
 
 func (s *PoissonSource) arrive() {
 	s.e.ArriveMessage(s.Svc, 0)
-	s.e.ScheduleAfter(s.rng.ExpFloat64()/s.Rate, s.arrive)
+	s.e.scheduleEvAfter(s.rng.ExpFloat64()/s.Rate, evPoissonArrive, s.id, 0, 0, 0)
 }
 
 // OnOffSource simulates the 2-level HAP / ON-OFF model: calls arrive
@@ -183,6 +205,8 @@ type OnOffSource struct {
 	StartStationary bool
 	rng             *rand.Rand
 	e               *Engine
+	id              int32
+	calls           table
 	svc             dist.Distribution
 }
 
@@ -201,35 +225,43 @@ func (s *OnOffSource) String() string {
 // Install schedules the initial calls and the first call arrival.
 func (s *OnOffSource) Install(e *Engine) {
 	s.e = e
+	s.id = e.registerOnOff(s)
 	if s.StartStationary {
 		for k := 0; k < dist.PoissonSample(s.rng, s.TL.Nu()); k++ {
 			s.addCall()
 		}
 	}
-	e.ScheduleAfter(s.rng.ExpFloat64()/s.TL.Lambda, s.callArrival)
+	e.scheduleEvAfter(s.rng.ExpFloat64()/s.TL.Lambda, evOnOffArrive, s.id, 0, 0, 0)
 }
 
-func (s *OnOffSource) callArrival() {
+func (s *OnOffSource) callArrive() {
 	s.addCall()
-	s.e.ScheduleAfter(s.rng.ExpFloat64()/s.TL.Lambda, s.callArrival)
+	s.e.scheduleEvAfter(s.rng.ExpFloat64()/s.TL.Lambda, evOnOffArrive, s.id, 0, 0, 0)
 }
 
 func (s *OnOffSource) addCall() {
-	c := &simUser{alive: true}
+	slot, gen := s.calls.add(0)
 	s.e.SetUsers(s.e.Users() + 1)
-	s.e.ScheduleAfter(s.rng.ExpFloat64()/s.TL.Mu, func() {
-		c.alive = false
-		s.e.SetUsers(s.e.Users() - 1)
-	})
-	s.scheduleCallEmit(c)
+	s.e.scheduleEvAfter(s.rng.ExpFloat64()/s.TL.Mu, evOnOffDepart, s.id, slot, gen, 0)
+	s.scheduleEmit(slot, gen)
 }
 
-func (s *OnOffSource) scheduleCallEmit(c *simUser) {
-	s.e.ScheduleAfter(s.rng.ExpFloat64()/s.TL.MsgLambda, func() {
-		if !c.alive {
-			return
-		}
-		s.e.ArriveMessage(s.svc, 0)
-		s.scheduleCallEmit(c)
-	})
+func (s *OnOffSource) callDepart(slot, gen int32) {
+	if !s.calls.ok(slot, gen) {
+		return
+	}
+	s.calls.kill(slot)
+	s.e.SetUsers(s.e.Users() - 1)
+}
+
+func (s *OnOffSource) scheduleEmit(slot, gen int32) {
+	s.e.scheduleEvAfter(s.rng.ExpFloat64()/s.TL.MsgLambda, evOnOffEmit, s.id, slot, gen, 0)
+}
+
+func (s *OnOffSource) emit(slot, gen int32) {
+	if !s.calls.ok(slot, gen) {
+		return
+	}
+	s.e.ArriveMessage(s.svc, 0)
+	s.scheduleEmit(slot, gen)
 }

@@ -10,8 +10,8 @@ import (
 
 // MMPPSource simulates an arbitrary Markov-modulated Poisson process: the
 // modulating chain moves between states, and in state s messages arrive
-// Poisson(rate_s). A generation counter lazily cancels the arrival clock
-// on every state change.
+// Poisson(rate_s). A generation counter carried in the event payload
+// lazily cancels the arrival clock on every state change.
 type MMPPSource struct {
 	Proc *mmpp.MMPP
 	Svc  dist.Distribution
@@ -22,8 +22,9 @@ type MMPPSource struct {
 
 	rng   *rand.Rand
 	e     *Engine
+	id    int32
 	state int
-	gen   uint64
+	gen   int32
 }
 
 // NewMMPPSource builds an MMPP source.
@@ -38,6 +39,7 @@ func (s *MMPPSource) String() string {
 // Install schedules the modulator and arrival clocks.
 func (s *MMPPSource) Install(e *Engine) {
 	s.e = e
+	s.id = e.registerMMPP(s)
 	s.state = s.Start
 	if s.StartStationary {
 		if pi, err := s.Proc.Stationary(); err == nil {
@@ -60,15 +62,16 @@ func (s *MMPPSource) enterState(state int) {
 	s.gen++
 	out := s.Proc.Chain.OutRate(state)
 	if out > 0 {
-		gen := s.gen
-		s.e.ScheduleAfter(s.rng.ExpFloat64()/out, func() {
-			if gen != s.gen {
-				return
-			}
-			s.enterState(s.pickNext())
-		})
+		s.e.scheduleEvAfter(s.rng.ExpFloat64()/out, evMMPPSwitch, s.id, s.gen, 0, 0)
 	}
 	s.scheduleArrival()
+}
+
+func (s *MMPPSource) switchState(gen int32) {
+	if gen != s.gen {
+		return
+	}
+	s.enterState(s.pickNext())
 }
 
 func (s *MMPPSource) pickNext() int {
@@ -90,14 +93,15 @@ func (s *MMPPSource) scheduleArrival() {
 	if rate <= 0 {
 		return // no arrivals until the next state change
 	}
-	gen := s.gen
-	s.e.ScheduleAfter(s.rng.ExpFloat64()/rate, func() {
-		if gen != s.gen {
-			return
-		}
-		s.e.ArriveMessage(s.Svc, 0)
-		s.scheduleArrival()
-	})
+	s.e.scheduleEvAfter(s.rng.ExpFloat64()/rate, evMMPPArrive, s.id, s.gen, 0, 0)
+}
+
+func (s *MMPPSource) arrive(gen int32) {
+	if gen != s.gen {
+		return
+	}
+	s.e.ArriveMessage(s.Svc, 0)
+	s.scheduleArrival()
 }
 
 // MMPP2Source builds an MMPPSource from the 2-state comparator.

@@ -76,6 +76,25 @@ func (bt *BusyTracker) Observe(t float64, n int) {
 	}
 }
 
+// Merge folds another tracker's completed periods into bt: the busy/idle/
+// height statistics combine exactly, and retained periods append up to
+// bt.MaxRetained. Each tracker's possibly-incomplete final period is
+// dropped, exactly as it is within a single run. Period timestamps keep
+// their original (per-replication) clocks.
+func (bt *BusyTracker) Merge(o *BusyTracker) {
+	bt.Busy.Merge(&o.Busy)
+	bt.Idle.Merge(&o.Idle)
+	bt.Height.Merge(&o.Height)
+	if bt.Keep {
+		for _, p := range o.Periods {
+			if bt.MaxRetained > 0 && len(bt.Periods) >= bt.MaxRetained {
+				break
+			}
+			bt.Periods = append(bt.Periods, p)
+		}
+	}
+}
+
 // Mountains returns the number of completed busy periods.
 func (bt *BusyTracker) Mountains() int64 { return bt.Busy.N() }
 

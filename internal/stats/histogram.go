@@ -49,6 +49,22 @@ func (h *Histogram) Add(x float64) {
 // N returns the total observation count (including out-of-range).
 func (h *Histogram) N() int64 { return h.n }
 
+// Merge folds another histogram with identical bounds and bin count into h
+// (bin-wise count addition). It panics on mismatched geometry.
+func (h *Histogram) Merge(o *Histogram) {
+	if h.Lo != o.Lo || h.Hi != o.Hi || len(h.bins) != len(o.bins) {
+		panic(fmt.Sprintf("stats: merging mismatched histograms [%v,%v)x%d vs [%v,%v)x%d",
+			h.Lo, h.Hi, len(h.bins), o.Lo, o.Hi, len(o.bins)))
+	}
+	for i, c := range o.bins {
+		h.bins[i] += c
+	}
+	h.under += o.under
+	h.over += o.over
+	h.n += o.n
+	h.sum += o.sum
+}
+
 // Mean returns the exact sample mean of all observations.
 func (h *Histogram) Mean() float64 {
 	if h.n == 0 {

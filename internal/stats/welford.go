@@ -162,6 +162,29 @@ func (tw *TimeWeighted) Var() float64 {
 // Max returns the largest value seen.
 func (tw *TimeWeighted) Max() float64 { return tw.max }
 
+// Merge folds another accumulator's observation window into tw, as if the
+// two disjoint windows had been observed back to back: integrals and
+// elapsed time add, so Mean and Var become the combined time averages.
+// Merge a finished window only (after its closing Update); calling Update
+// on the merged result afterwards is not meaningful.
+func (tw *TimeWeighted) Merge(o *TimeWeighted) {
+	if !o.started {
+		return
+	}
+	if !tw.started {
+		*tw = *o
+		return
+	}
+	elapsed := tw.Elapsed() + o.Elapsed()
+	tw.area += o.area
+	tw.area2 += o.area2
+	tw.last = tw.start + elapsed
+	tw.lastVal = o.lastVal
+	if o.max > tw.max {
+		tw.max = o.max
+	}
+}
+
 // Elapsed returns the observed horizon.
 func (tw *TimeWeighted) Elapsed() float64 { return tw.last - tw.start }
 
