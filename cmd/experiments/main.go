@@ -10,13 +10,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 
 	"hap/internal/experiments"
+	"hap/internal/haperr"
 )
 
 func main() {
@@ -28,8 +31,19 @@ func main() {
 		list    = flag.Bool("list", false, "list experiments and exit")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		timeout = flag.Duration("timeout", 0, "stop dispatching experiments after this wall-clock budget (0 = none; ctrl-c also cancels)")
 	)
 	flag.Parse()
+
+	// Ctrl-c (and an optional -timeout) stop the batch between experiments;
+	// a cancelled run exits with the dedicated code.
+	runCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(runCtx, *timeout)
+		defer cancel()
+	}
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
 		if err != nil {
@@ -70,23 +84,24 @@ func main() {
 		Out:        os.Stdout,
 		ResultsDir: *results,
 		Seed:       *seed,
+		Ctx:        runCtx,
 	}
 	if *expID != "" {
 		e, ok := experiments.Get(*expID)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *expID)
-			os.Exit(2)
+			os.Exit(haperr.ExitUsage)
 		}
 		res, err := e.Run(ctx)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
-			os.Exit(1)
+			os.Exit(haperr.ExitCode(err))
 		}
 		res.Render(os.Stdout)
 		return
 	}
 	if _, err := experiments.RunAll(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "some experiments failed: %v\n", err)
-		os.Exit(1)
+		os.Exit(haperr.ExitCode(err))
 	}
 }

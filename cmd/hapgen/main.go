@@ -18,9 +18,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"hap/internal/core"
+	"hap/internal/haperr"
 	"hap/internal/netgen"
 )
 
@@ -35,15 +37,27 @@ func main() {
 		pad      = flag.Int("pad", 64, "payload padding bytes")
 		seed     = flag.Int64("seed", 1, "schedule seed")
 		muMsg    = flag.Float64("mu3", 20, "message service rate (model metadata)")
+		timeout  = flag.Duration("timeout", 0, "abort sending/collecting after this wall-clock budget (0 = none; ctrl-c also cancels)")
 	)
 	flag.Parse()
 
+	// Ctrl-c (and an optional -timeout) cancel the context driving the
+	// sender and the sink collector; a cancelled run exits with the
+	// dedicated code.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSignals()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	switch *mode {
 	case "sink":
-		runSink(*listen)
+		runSink(ctx, *listen)
 	case "send":
 		s := makeSchedule(*source, *seconds, *seed, *muMsg)
-		sendTo(*to, s, *compress, *pad)
+		sendTo(ctx, *to, s, *compress, *pad)
 	case "loopback":
 		sink, err := netgen.NewSink("127.0.0.1:0")
 		if err != nil {
@@ -55,13 +69,13 @@ func main() {
 			len(s.Arrivals), s.Horizon, s.MeanRate(), *compress)
 		done := make(chan netgen.SinkStats, 1)
 		go func() {
-			st, err := sink.Collect(context.Background(), len(s.Arrivals), 2*time.Second)
+			st, err := sink.Collect(ctx, len(s.Arrivals), 2*time.Second)
 			if err != nil {
 				fatal(err)
 			}
 			done <- st
 		}()
-		stats, err := netgen.Send(context.Background(), sink.Addr(), s, netgen.SenderConfig{
+		stats, err := netgen.Send(ctx, sink.Addr(), s, netgen.SenderConfig{
 			Compression: *compress, PayloadPad: *pad,
 		})
 		if err != nil {
@@ -74,7 +88,7 @@ func main() {
 		report(st)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
-		os.Exit(2)
+		os.Exit(haperr.ExitUsage)
 	}
 }
 
@@ -89,7 +103,12 @@ func makeSchedule(source string, seconds float64, seed int64, muMsg float64) *ne
 	case "poisson":
 		s, err = netgen.GeneratePoisson(core.PaperParams(muMsg).MeanRate(), seconds, seed)
 	case "onoff":
-		s, err = netgen.GenerateOnOff(core.NewOnOff(0.05, 0.01, 2, muMsg), seconds, seed)
+		// Built literally (not via NewOnOff) so a bad -mu3 surfaces as an
+		// error instead of the constructor's invariant panic.
+		tl := &core.TwoLevel{Lambda: 0.05, Mu: 0.01, MsgLambda: 2, MsgMu: muMsg}
+		if err = tl.Validate(); err == nil {
+			s, err = netgen.GenerateOnOff(tl, seconds, seed)
+		}
 	default:
 		err = fmt.Errorf("unknown source %q", source)
 	}
@@ -99,9 +118,9 @@ func makeSchedule(source string, seconds float64, seed int64, muMsg float64) *ne
 	return s
 }
 
-func sendTo(addr string, s *netgen.Schedule, compress float64, pad int) {
+func sendTo(ctx context.Context, addr string, s *netgen.Schedule, compress float64, pad int) {
 	fmt.Printf("sending %d packets to %s at %gx compression...\n", len(s.Arrivals), addr, compress)
-	stats, err := netgen.Send(context.Background(), addr, s, netgen.SenderConfig{
+	stats, err := netgen.Send(ctx, addr, s, netgen.SenderConfig{
 		Compression: compress, PayloadPad: pad,
 	})
 	if err != nil {
@@ -110,14 +129,14 @@ func sendTo(addr string, s *netgen.Schedule, compress float64, pad int) {
 	fmt.Printf("sent %d packets (%d bytes) in %v\n", stats.Sent, stats.Bytes, stats.Elapsed.Round(time.Millisecond))
 }
 
-func runSink(listen string) {
+func runSink(ctx context.Context, listen string) {
 	sink, err := netgen.NewSink(listen)
 	if err != nil {
 		fatal(err)
 	}
 	defer sink.Close()
 	fmt.Printf("listening on %s (ctrl-c to stop; reports after 5 s idle)\n", sink.Addr())
-	st, err := sink.Collect(context.Background(), 0, 5*time.Second)
+	st, err := sink.Collect(ctx, 0, 5*time.Second)
 	if err != nil {
 		fatal(err)
 	}
@@ -135,5 +154,5 @@ func report(st netgen.SinkStats) {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, err)
-	os.Exit(1)
+	os.Exit(haperr.ExitCode(err))
 }

@@ -8,13 +8,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 
 	"hap/internal/core"
+	"hap/internal/haperr"
 	"hap/internal/par"
 	"hap/internal/sim"
 	"hap/internal/trace"
@@ -42,10 +45,22 @@ func main() {
 		config  = flag.String("config", "", "JSON model file (hap source only; overrides the symmetric flags)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		timeout = flag.Duration("timeout", 0, "abort the simulation after this wall-clock budget (0 = none; ctrl-c also cancels)")
 	)
 	flag.Parse()
 	if *warmup == 0 {
 		*warmup = *horizon / 100
+	}
+
+	// Ctrl-c (and an optional -timeout) cancel the context polled by every
+	// replication's event loop; a cancelled run exits with the dedicated
+	// code after reporting whatever span it covered.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -67,7 +82,11 @@ func main() {
 		MaxBusyRetained:    1 << 20,
 		QueueTraceInterval: *queue,
 	}
-	cfg := sim.Config{Horizon: *horizon, Seed: *seed, Measure: mcfg}
+	cfg := sim.Config{Horizon: *horizon, Seed: *seed, Measure: mcfg, Ctx: ctx}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(haperr.ExitUsage)
+	}
 
 	// Build a per-seed runner once; a single run and a replicated run then
 	// share the exact same code path.
@@ -87,7 +106,7 @@ func main() {
 		}
 		if err := m.Validate(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			os.Exit(haperr.ExitUsage)
 		}
 		fmt.Printf("source: %s\n", m)
 		run = func(seed int64) *sim.RunResult {
@@ -104,7 +123,13 @@ func main() {
 			return sim.RunPoisson(rate, *mu3, c)
 		}
 	case "onoff":
-		tl := core.NewOnOff(*lambda, *mu, *lambda3, *mu3)
+		// Built literally (not via NewOnOff) so bad flag values surface as
+		// a usage error instead of the constructor's invariant panic.
+		tl := &core.TwoLevel{Lambda: *lambda, Mu: *mu, MsgLambda: *lambda3, MsgMu: *mu3}
+		if err := tl.Validate(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(haperr.ExitUsage)
+		}
 		fmt.Printf("source: onoff(ν=%.4g, γ=%.4g)\n", tl.Nu(), tl.MsgLambda)
 		run = func(seed int64) *sim.RunResult {
 			c := cfg
@@ -113,28 +138,37 @@ func main() {
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown source %q\n", *source)
-		os.Exit(2)
+		os.Exit(haperr.ExitUsage)
 	}
 
 	var res *sim.RunResult
 	if *reps > 1 {
-		agg := sim.ReplicateRuns(*reps, *seed, *workers,
+		agg, aggErr := sim.ReplicateRunsContext(ctx, *reps, *seed, *workers,
 			func(rep int, seed int64) *sim.RunResult { return run(seed) })
 		fmt.Printf("\n%d replications on %d workers, wall %v\n",
 			*reps, par.Workers(*workers, *reps), agg.Elapsed)
 		fmt.Printf("events %d, arrivals %d, departures %d\n",
 			agg.Events, agg.Arrivals, agg.Departures)
-		if agg.Truncated {
-			fmt.Println("warning: at least one replication hit its event budget")
+		if agg.Skipped > 0 {
+			fmt.Printf("warning: %d replications never started (cancelled)\n", agg.Skipped)
 		}
-		fmt.Printf("mean delay         %.5g s ± %.3g (95%% CI over %d reps)\n",
-			agg.Delay.Mean(), agg.HalfWidth, agg.Delay.N())
-		fmt.Printf("pooled delay       %.5g s (std %.4g, max %.4g, n=%d)\n",
-			agg.Merged.MeanDelay(), agg.Merged.Delays.Std(), agg.Merged.Delays.Max(),
-			agg.Merged.Delays.N())
-		fmt.Printf("mean queue length  %.5g (max %g)\n",
-			agg.Merged.MeanQueue(), agg.Merged.Queue.Max())
+		if agg.Truncated {
+			fmt.Println("warning: at least one replication stopped before its horizon")
+		}
+		if agg.Merged != nil {
+			fmt.Printf("mean delay         %.5g s ± %.3g (95%% CI over %d reps)\n",
+				agg.Delay.Mean(), agg.HalfWidth, agg.Delay.N())
+			fmt.Printf("pooled delay       %.5g s (std %.4g, max %.4g, n=%d)\n",
+				agg.Merged.MeanDelay(), agg.Merged.Delays.Std(), agg.Merged.Delays.Max(),
+				agg.Merged.Delays.N())
+			fmt.Printf("mean queue length  %.5g (max %g)\n",
+				agg.Merged.MeanQueue(), agg.Merged.Queue.Max())
+		}
 		writeMemProfile(*memProf)
+		if aggErr != nil {
+			fmt.Fprintln(os.Stderr, aggErr)
+			os.Exit(haperr.ExitCode(aggErr))
+		}
 		return
 	}
 	res = run(*seed)
@@ -143,7 +177,7 @@ func main() {
 	fmt.Printf("\nevents %d, arrivals %d, departures %d, wall %v\n",
 		res.Events, res.Arrivals, res.Departures, res.Elapsed)
 	if res.Truncated {
-		fmt.Println("warning: run hit its event budget before the horizon")
+		fmt.Println("warning: run stopped before the horizon (event budget or cancellation)")
 	}
 	fmt.Printf("observed rate      %.5g msgs/s\n", meas.ObservedRate())
 	fmt.Printf("mean delay         %.5g s (std %.4g, max %.4g)\n",
@@ -179,6 +213,10 @@ func main() {
 		}
 	}
 	writeMemProfile(*memProf)
+	if res.Err != nil {
+		fmt.Fprintln(os.Stderr, res.Err)
+		os.Exit(haperr.ExitCode(res.Err))
+	}
 }
 
 func writeMemProfile(path string) {

@@ -9,12 +9,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"hap/internal/core"
+	"hap/internal/haperr"
 	"hap/internal/solver"
 	"hap/internal/trace"
 )
@@ -34,8 +37,19 @@ func main() {
 		maxA    = flag.Int("maxapps", 0, "modulator truncation: applications (0 = auto)")
 		maxZ    = flag.Int("maxqueue", 0, "queue truncation for Solution 0 (0 = auto)")
 		config  = flag.String("config", "", "JSON model file (overrides the symmetric flags; supports asymmetric models)")
+		timeout = flag.Duration("timeout", 0, "abort the solves after this wall-clock budget (0 = none; ctrl-c also cancels)")
 	)
 	flag.Parse()
+
+	// Ctrl-c (and an optional -timeout) cancel the context threaded into
+	// every solve; a cancelled run exits with the dedicated code.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	var m *core.Model
 	if *config != "" {
@@ -43,14 +57,14 @@ func main() {
 		m, err = core.LoadModel(*config)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			os.Exit(haperr.ExitUsage)
 		}
 	} else {
 		m = core.NewSymmetric(*lambda, *mu, *lambda2, *mu2, *lambda3, *mu3, *l, *mm)
 	}
 	if err := m.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		os.Exit(haperr.ExitUsage)
 	}
 	fmt.Printf("model: %s\n", m)
 	if _, uniform := m.UniformServiceRate(); uniform {
@@ -61,15 +75,23 @@ func main() {
 			m.MeanUsers(), m.MeanApps())
 	}
 
-	opts := &solver.Options{MaxUsers: *maxU, MaxApps: *maxA, MaxQueue: *maxZ}
+	opts := &solver.Options{MaxUsers: *maxU, MaxApps: *maxA, MaxQueue: *maxZ, Ctx: ctx}
 	var rows [][]string
+	var firstErr error
 	appendRow := func(r solver.Result, err error) {
 		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
 			rows = append(rows, []string{r.Method, "-", "-", "-", "-", err.Error()})
 			return
 		}
+		method := r.Method
+		if r.Degraded {
+			method += " (degraded)"
+		}
 		rows = append(rows, []string{
-			r.Method,
+			method,
 			fmt.Sprintf("%.5g", r.MeanRate),
 			fmt.Sprintf("%.5g", r.Sigma),
 			fmt.Sprintf("%.5g", r.Delay),
@@ -92,8 +114,12 @@ func main() {
 		case "":
 		default:
 			fmt.Fprintf(os.Stderr, "unknown solution %q\n", s)
-			os.Exit(2)
+			os.Exit(haperr.ExitUsage)
 		}
 	}
 	fmt.Print(trace.Table([]string{"method", "λ̄", "σ", "delay", "queue", "elapsed"}, rows))
+	if firstErr != nil {
+		fmt.Fprintln(os.Stderr, firstErr)
+		os.Exit(haperr.ExitCode(firstErr))
+	}
 }

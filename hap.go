@@ -28,11 +28,38 @@
 package hap
 
 import (
+	"context"
+
 	"hap/internal/admission"
 	"hap/internal/core"
+	"hap/internal/haperr"
 	"hap/internal/sim"
 	"hap/internal/solver"
 )
+
+// Sentinel errors shared across the library; test with errors.Is. Every
+// solver and simulation entry point classifies its failures with these (or
+// a wrapped context error for cancellation) instead of panicking.
+var (
+	// ErrBadParameter classifies invalid user-supplied parameters.
+	ErrBadParameter = haperr.ErrBadParameter
+	// ErrUnstable reports a queue with ρ >= 1 — no steady state exists.
+	ErrUnstable = haperr.ErrUnstable
+	// ErrNotConverged reports an exhausted iteration budget.
+	ErrNotConverged = haperr.ErrNotConverged
+	// ErrTrivialRoot reports a σ iteration that collapsed onto the trivial
+	// fixed point σ = 1 despite a stable load.
+	ErrTrivialRoot = haperr.ErrTrivialRoot
+)
+
+// Diag is the convergence-diagnostics record every iterative result
+// carries (see SolveResult.Diag).
+type Diag = haperr.Diag
+
+// ExitCode maps an error to the cmd/ binaries' shared exit-code
+// convention: 0 OK, 1 error, 2 usage, 3 unstable, 4 not converged,
+// 5 cancelled.
+func ExitCode(err error) int { return haperr.ExitCode(err) }
 
 // Model is a 3-level HAP (see internal/core for the full API).
 type Model = core.Model
@@ -138,6 +165,26 @@ func SimulateOnOff(tl *TwoLevel, cfg SimConfig) *SimResult { return sim.RunOnOff
 
 // SimulateCS runs the client-server model.
 func SimulateCS(m *CSModel, cfg SimConfig) *SimResult { return sim.RunCS(m, cfg) }
+
+// SimReplicated aggregates independent replications of one scenario.
+type SimReplicated = sim.ReplicatedResult
+
+// SimulateReplications runs n independent replications of the model across
+// workers (0 = all cores) and merges their measurements; replication i is
+// seeded from (cfg.Seed, i) so the aggregate is bit-identical for every
+// worker count. A non-nil ctx cancels the fan-out and the runs promptly;
+// the aggregate then covers whatever completed, with the context error
+// returned.
+func SimulateReplications(ctx context.Context, m *Model, cfg SimConfig, n, workers int) (*SimReplicated, error) {
+	return sim.ReplicateRunsContext(ctx, n, cfg.Seed, workers, func(rep int, seed int64) *SimResult {
+		c := cfg
+		c.Seed = seed
+		if c.Ctx == nil {
+			c.Ctx = ctx
+		}
+		return sim.RunHAP(m, c)
+	})
+}
 
 // MaxWorkload finds the largest user arrival-rate multiplier whose
 // Solution-2 delay meets the target (admission control).

@@ -1,9 +1,10 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"strings"
+
+	"hap/internal/haperr"
 )
 
 // This file implements HAP-CS, the client-server extension of Section 2.2:
@@ -124,7 +125,7 @@ func (m *CSModel) Validate() error {
 		}
 	}
 	if len(errs) > 0 {
-		return errors.New("core: invalid CS model: " + strings.Join(errs, "; "))
+		return haperr.Badf("core: invalid CS model: %s", strings.Join(errs, "; "))
 	}
 	return nil
 }

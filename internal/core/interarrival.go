@@ -198,7 +198,7 @@ func (ia *Interarrival) CrossingsWithPoisson(tMax float64, n int) []float64 {
 		t := float64(i) * step
 		v := diff(t)
 		if prevV == 0 || prevV*v < 0 {
-			if root, err := quad.Bisect(diff, prevT, t, 1e-10); err == nil {
+			if root, _, err := quad.Bisect(diff, prevT, t, 1e-10); err == nil {
 				out = append(out, root)
 			}
 		}

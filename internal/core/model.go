@@ -17,9 +17,11 @@
 package core
 
 import (
-	"errors"
 	"fmt"
+	"math"
 	"strings"
+
+	"hap/internal/haperr"
 )
 
 // MessageType parameterises one message class of an application type.
@@ -68,12 +70,13 @@ type Model struct {
 	Apps []AppType
 }
 
-// Validate checks that every rate is positive and every level non-empty.
+// Validate checks that every rate is positive and finite and every level
+// non-empty. (!(v > 0) rather than v <= 0 so NaN is rejected too.)
 func (m *Model) Validate() error {
 	var errs []string
 	check := func(name string, v float64) {
-		if !(v > 0) {
-			errs = append(errs, fmt.Sprintf("%s must be positive (got %v)", name, v))
+		if !(v > 0) || math.IsInf(v, 1) {
+			errs = append(errs, fmt.Sprintf("%s must be positive and finite (got %v)", name, v))
 		}
 	}
 	check("user Lambda", m.Lambda)
@@ -93,7 +96,7 @@ func (m *Model) Validate() error {
 		}
 	}
 	if len(errs) > 0 {
-		return errors.New("core: invalid model: " + strings.Join(errs, "; "))
+		return haperr.Badf("core: invalid model: %s", strings.Join(errs, "; "))
 	}
 	return nil
 }

@@ -1,9 +1,9 @@
 package core
 
 import (
-	"fmt"
 	"math"
 
+	"hap/internal/haperr"
 	"hap/internal/quad"
 )
 
@@ -28,14 +28,14 @@ func NewOnOff(lambda, mu, msgLambda, msgMu float64) *TwoLevel {
 	return t
 }
 
-// Validate checks that every rate is positive.
+// Validate checks that every rate is positive and finite.
 func (t *TwoLevel) Validate() error {
 	for _, p := range []struct {
 		n string
 		v float64
 	}{{"Lambda", t.Lambda}, {"Mu", t.Mu}, {"MsgLambda", t.MsgLambda}, {"MsgMu", t.MsgMu}} {
-		if !(p.v > 0) {
-			return fmt.Errorf("core: TwoLevel.%s must be positive (got %v)", p.n, p.v)
+		if !(p.v > 0) || math.IsInf(p.v, 1) {
+			return haperr.Badf("core: TwoLevel.%s must be positive and finite (got %v)", p.n, p.v)
 		}
 	}
 	return nil

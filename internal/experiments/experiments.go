@@ -10,6 +10,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -32,6 +33,16 @@ type Context struct {
 	ResultsDir string
 	// Seed roots every stochastic component.
 	Seed int64
+	// Ctx, when non-nil, bounds the whole batch: RunAll stops dispatching
+	// new experiments once it is done. Nil means context.Background().
+	Ctx context.Context
+}
+
+func (c *Context) context() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
 }
 
 func (c *Context) scale() float64 {
@@ -153,11 +164,20 @@ func Get(id string) (Experiment, bool) {
 }
 
 // RunAll executes every experiment in order, rendering each, and returns
-// the first error (continuing past failures).
+// the first error (continuing past failures). A cancelled Context.Ctx
+// stops the batch before the next experiment starts; the context error is
+// returned (unless an earlier failure already claimed the slot).
 func RunAll(ctx *Context) ([]*Result, error) {
 	var results []*Result
 	var firstErr error
 	for _, e := range All() {
+		if err := ctx.context().Err(); err != nil {
+			ctx.printf("\n──── stopping before %s: %v\n", e.ID, err)
+			if firstErr == nil {
+				firstErr = err
+			}
+			break
+		}
 		ctx.printf("\n──── running %s: %s (scale %.3g)\n", e.ID, e.Title, ctx.scale())
 		res, err := e.Run(ctx)
 		if err != nil {

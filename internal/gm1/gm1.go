@@ -14,10 +14,11 @@
 package gm1
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"math"
 
+	"hap/internal/haperr"
 	"hap/internal/quad"
 )
 
@@ -34,7 +35,23 @@ type Result struct {
 	Rho        float64 // utilisation λ̄/μ
 	Lambda     float64 // arrival rate used for Little's result
 	Mu         float64 // service rate
-	Iterations int     // σ-solver iterations
+	Method     Method  // σ solver that produced the result
+	Iterations int     // σ-solver iterations (probe scan + bisection / fixed-point steps)
+	Residual   float64 // final fixed-point residual |A*(μ−μσ)−σ|
+	Converged  bool    // tolerance met within the budget
+	// Bracket records the bisection bracket probe history as flattened
+	// (probe, h(probe)) pairs; nil for the fixed-point method.
+	Bracket []float64
+}
+
+// Diag returns the solve diagnostics in the shared form.
+func (r Result) Diag() haperr.Diag {
+	return haperr.Diag{
+		Iterations: r.Iterations,
+		Residual:   r.Residual,
+		Converged:  r.Converged,
+		Bracket:    r.Bracket,
+	}
 }
 
 // WaitingCDF returns P(wait <= y) = 1 − σe^{−μ(1−σ)y}.
@@ -57,14 +74,25 @@ func (r Result) WaitingQuantile(p float64) float64 {
 	return -math.Log((1-p)/r.Sigma) / (r.Mu * (1 - r.Sigma))
 }
 
-// ErrUnstable reports λ̄ >= μ.
-var ErrUnstable = errors.New("gm1: queue is unstable (rho >= 1)")
+// ErrUnstable reports λ̄ >= μ. It aliases haperr.ErrUnstable so either
+// spelling matches under errors.Is.
+var ErrUnstable = haperr.ErrUnstable
+
+// ErrTrivialRoot reports that the paper's averaging iteration collapsed
+// onto the trivial fixed point σ = 1 (every valid transform satisfies
+// A*(0) = 1) even though the queue is stable. The result would be
+// meaningless, so the error is returned instead; MethodBisect excludes the
+// trivial root by construction.
+var ErrTrivialRoot = haperr.ErrTrivialRoot
 
 // Options tunes the σ solvers.
 type Options struct {
 	Tol     float64 // |A*(μ−μσ) − σ| tolerance (default 1e-10)
 	MaxIter int     // iteration budget (default 10000)
 	Method  Method  // solver choice (default MethodBisect)
+	// Ctx, when non-nil, is polled during the fixed-point iteration; a
+	// cancelled context aborts the solve with the context error.
+	Ctx context.Context
 }
 
 // Method selects a σ solver.
@@ -93,12 +121,13 @@ func (m Method) String() string {
 // Solve computes the G/M/1 queue for interarrival transform a, arrival
 // rate lambda (for Little's result) and service rate mu.
 func Solve(a Laplace, lambda, mu float64, opts *Options) (Result, error) {
-	if lambda <= 0 || mu <= 0 {
-		return Result{}, fmt.Errorf("gm1: rates must be positive (λ=%v, μ=%v)", lambda, mu)
+	// !(x > 0) instead of x <= 0 so NaN inputs are rejected too.
+	if !(lambda > 0) || !(mu > 0) || math.IsInf(lambda, 1) || math.IsInf(mu, 1) {
+		return Result{}, haperr.Badf("gm1: rates must be positive and finite (λ=%v, μ=%v)", lambda, mu)
 	}
 	rho := lambda / mu
 	if rho >= 1 {
-		return Result{Rho: rho, Lambda: lambda, Mu: mu}, ErrUnstable
+		return Result{Rho: rho, Lambda: lambda, Mu: mu}, fmt.Errorf("gm1: λ=%v >= μ=%v: %w", lambda, mu, ErrUnstable)
 	}
 	o := Options{Tol: 1e-10, MaxIter: 10000}
 	if opts != nil {
@@ -109,38 +138,53 @@ func Solve(a Laplace, lambda, mu float64, opts *Options) (Result, error) {
 			o.MaxIter = opts.MaxIter
 		}
 		o.Method = opts.Method
+		o.Ctx = opts.Ctx
+	}
+	if o.Ctx != nil {
+		if err := o.Ctx.Err(); err != nil {
+			return Result{}, fmt.Errorf("gm1: %w", err)
+		}
 	}
 	g := func(sig float64) float64 { return a(mu - mu*sig) }
+	res := Result{Rho: rho, Lambda: lambda, Mu: mu, Method: o.Method}
 	var sigma float64
-	var iters int
 	var err error
 	switch o.Method {
 	case MethodPaper:
-		sigma, iters, err = quad.FixedPoint(g, 0.5, 0.5, o.Tol, o.MaxIter)
+		sigma, res.Iterations, err = quad.FixedPointCtx(o.Ctx, g, 0.5, 0.5, o.Tol, o.MaxIter)
 		if err != nil {
-			return Result{}, fmt.Errorf("gm1: paper σ-algorithm: %w", err)
+			res.Sigma = sigma
+			res.Residual = math.Abs(g(sigma) - sigma)
+			if o.Ctx != nil && o.Ctx.Err() != nil {
+				return res, fmt.Errorf("gm1: paper σ-algorithm: %w", o.Ctx.Err())
+			}
+			return res, fmt.Errorf("gm1: paper σ-algorithm (after %d iters, residual %.3g): %w",
+				res.Iterations, res.Residual, haperr.ErrNotConverged)
+		}
+		// The averaging iteration can converge onto the trivial root σ = 1
+		// (A*(0) = 1 for every transform). Near-critical queues have a real
+		// σ close to — but numerically distinguishable from — 1, so only a
+		// σ within the solve tolerance of the trivial root is rejected.
+		if sigma >= 1 || 1-sigma <= 2*o.Tol {
+			res.Sigma = sigma
+			return res, fmt.Errorf("gm1: paper σ-algorithm found σ=%v with ρ=%v (use MethodBisect): %w",
+				sigma, rho, ErrTrivialRoot)
 		}
 	default:
-		sigma, iters, err = bisectSigma(g, o.Tol, o.MaxIter)
+		sigma, res.Iterations, res.Bracket, err = bisectSigma(g, o.Tol, o.MaxIter)
 		if err != nil {
-			return Result{}, err
+			return res, err
 		}
 	}
-	if sigma >= 1 {
-		sigma = 1 - 1e-12
-	}
 	if sigma < 0 {
-		sigma = 0
+		// Impossible for a valid transform; treat as a caller bug, not data.
+		return res, haperr.Badf("gm1: σ solver produced %v (transform is not a Laplace transform)", sigma)
 	}
-	res := Result{
-		Sigma:      sigma,
-		Delay:      1 / (mu * (1 - sigma)),
-		Wait:       sigma / (mu * (1 - sigma)),
-		Rho:        rho,
-		Lambda:     lambda,
-		Mu:         mu,
-		Iterations: iters,
-	}
+	res.Sigma = sigma
+	res.Residual = math.Abs(g(sigma) - sigma)
+	res.Converged = true
+	res.Delay = 1 / (mu * (1 - sigma))
+	res.Wait = sigma / (mu * (1 - sigma))
 	res.QueueLen = lambda * res.Delay
 	return res, nil
 }
@@ -148,59 +192,93 @@ func Solve(a Laplace, lambda, mu float64, opts *Options) (Result, error) {
 // bisectSigma finds the non-trivial root of h(σ) = A*(μ−μσ) − σ in (0,1).
 // h(1) = 0 always (A*(0) = 1); stability guarantees a root below 1, with
 // h(0) = A*(μ) > 0, so h goes positive→negative→0; we bisect on a bracket
-// found by scanning down from 1.
-func bisectSigma(g func(float64) float64, tol float64, maxIter int) (float64, int, error) {
+// found by scanning down from 1, stopping at the first negative probe (any
+// point with h < 0 lies between the root and 1, so one is enough).
+// It returns the root, the total transform evaluations spent (probes plus
+// bisection steps) and the probe history as flattened (probe, h) pairs.
+func bisectSigma(g func(float64) float64, tol float64, maxIter int) (float64, int, []float64, error) {
 	h := func(s float64) float64 { return g(s) - s }
-	// Scan for a point where h < 0 (between the root and 1).
 	var hi float64 = -1
+	probes := 0
+	bracket := make([]float64, 0, 8)
 	for _, probe := range []float64{0.999, 0.99, 0.9, 0.7, 0.5, 0.3, 0.1, 0.01} {
-		if h(probe) < 0 {
+		probes++
+		hp := h(probe)
+		bracket = append(bracket, probe, hp)
+		if hp < 0 {
 			hi = probe
+			break
 		}
 	}
 	if hi < 0 {
-		// No strictly negative point found: σ is extremely close to 1 or
-		// the transform is degenerate; refine near 1.
-		hi = 1 - 1e-9
-		if h(hi) >= 0 {
-			return 0, 0, errors.New("gm1: could not bracket sigma")
+		// No strictly negative point found yet: very bursty near-critical
+		// traffic puts σ within 1e-4 of 1, so walk a geometric ladder of
+		// probes toward 1 until h turns negative.
+		for eps := 1e-4; eps >= 1e-13; eps /= 10 {
+			probe := 1 - eps
+			probes++
+			hp := h(probe)
+			bracket = append(bracket, probe, hp)
+			if hp < 0 {
+				hi = probe
+				break
+			}
+		}
+		if hi < 0 {
+			// σ is numerically indistinguishable from the trivial root 1:
+			// the queue is critical at floating-point precision.
+			return 0, probes, bracket, fmt.Errorf("gm1: σ indistinguishable from 1 (h >= 0 down to 1-1e-13): %w", haperr.ErrUnstable)
 		}
 	}
-	root, err := quad.Bisect(h, 0, hi, tol)
+	root, steps, err := quad.Bisect(h, 0, hi, tol)
 	if err != nil {
-		return 0, 0, fmt.Errorf("gm1: bisect: %w", err)
+		return 0, probes + steps, bracket, fmt.Errorf("gm1: bisect: %w", err)
 	}
-	return root, 0, nil
+	return root, probes + steps, bracket, nil
 }
 
-// MM1 returns the closed-form M/M/1 result (the Poisson baseline).
+// MM1 returns the closed-form M/M/1 result (the Poisson baseline). λ = 0
+// is allowed — an empty link with delay 1/μ — so admission regions can
+// query the zero-call vector.
 func MM1(lambda, mu float64) (Result, error) {
+	if !(lambda >= 0) || !(mu > 0) || math.IsInf(lambda, 1) || math.IsInf(mu, 1) {
+		return Result{}, haperr.Badf("gm1: MM1 rates must be non-negative and finite (λ=%v, μ=%v)", lambda, mu)
+	}
 	if lambda >= mu {
-		return Result{Rho: lambda / mu, Lambda: lambda, Mu: mu}, ErrUnstable
+		return Result{Rho: lambda / mu, Lambda: lambda, Mu: mu}, fmt.Errorf("gm1: λ=%v >= μ=%v: %w", lambda, mu, ErrUnstable)
 	}
 	rho := lambda / mu
 	return Result{
-		Sigma:    rho, // PASTA: arrivals see time averages
-		Delay:    1 / (mu - lambda),
-		Wait:     rho / (mu - lambda),
-		QueueLen: rho / (1 - rho),
-		Rho:      rho,
-		Lambda:   lambda,
-		Mu:       mu,
+		Sigma:     rho, // PASTA: arrivals see time averages
+		Delay:     1 / (mu - lambda),
+		Wait:      rho / (mu - lambda),
+		QueueLen:  rho / (1 - rho),
+		Rho:       rho,
+		Lambda:    lambda,
+		Mu:        mu,
+		Converged: true,
 	}, nil
 }
 
 // MD1Delay returns the mean sojourn time of the M/D/1 queue by
 // Pollaczek–Khinchine with deterministic service (SCV 0), an extra
-// baseline for the discussion sections.
+// baseline for the discussion sections. Unstable inputs (ρ >= 1) yield
+// +Inf — the PK formula's pole would otherwise return a negative "delay" —
+// and invalid rates yield NaN.
 func MD1Delay(lambda, mu float64) float64 {
-	rho := lambda / mu
-	return 1/mu + rho/(2*mu*(1-rho))
+	return MG1Delay(lambda, mu, 0)
 }
 
 // MG1Delay returns the Pollaczek–Khinchine mean sojourn time for general
-// service with the given squared coefficient of variation.
+// service with the given squared coefficient of variation. ρ >= 1 yields
+// +Inf; invalid rates or scv yield NaN.
 func MG1Delay(lambda, mu, scv float64) float64 {
+	if !(lambda > 0) || !(mu > 0) || !(scv >= 0) {
+		return math.NaN()
+	}
 	rho := lambda / mu
+	if rho >= 1 {
+		return math.Inf(1)
+	}
 	return 1/mu + rho*(1+scv)/(2*mu*(1-rho))
 }

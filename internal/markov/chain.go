@@ -11,9 +11,11 @@
 package markov
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"math"
+
+	"hap/internal/haperr"
 )
 
 // Transition is one outgoing rate entry of a CTMC generator row.
@@ -83,7 +85,11 @@ type SteadyOptions struct {
 	MaxIter int // iteration budget (default 200000)
 	// Pi0 optionally warm-starts the iteration; it is normalised first.
 	Pi0        []float64
-	CheckEvery int // convergence test period for power iteration (default 10)
+	CheckEvery int // convergence/cancellation test period in sweeps (default 10)
+	// Ctx, when non-nil, is polled every CheckEvery sweeps; a cancelled
+	// context stops the iteration and returns the context error with the
+	// current (normalised) iterate.
+	Ctx context.Context
 }
 
 func (o *SteadyOptions) defaults(n int) SteadyOptions {
@@ -99,19 +105,41 @@ func (o *SteadyOptions) defaults(n int) SteadyOptions {
 			out.CheckEvery = o.CheckEvery
 		}
 		out.Pi0 = o.Pi0
+		out.Ctx = o.Ctx
 	}
 	return out
 }
 
+// cancelled reports the context error, if any.
+func (o *SteadyOptions) cancelled() error {
+	if o.Ctx == nil {
+		return nil
+	}
+	return o.Ctx.Err()
+}
+
 // ErrNotConverged reports that the iteration budget ran out; the best
-// iterate is still returned alongside it.
-var ErrNotConverged = errors.New("markov: steady state iteration did not converge")
+// iterate is still returned alongside it. It aliases haperr.ErrNotConverged
+// so either spelling matches under errors.Is.
+var ErrNotConverged = haperr.ErrNotConverged
+
+// Stats reports how a steady-state iteration went: sweeps used, the final
+// total-variation change between convergence checks, and whether the
+// tolerance was met. It is returned even on error, so budget-bound callers
+// can see how far the sweep got.
+type Stats struct {
+	Iterations int
+	Residual   float64
+	Converged  bool
+}
 
 // SteadyState computes the stationary distribution by uniformised power
 // iteration: π ← πP with P = I + Q/Λ, which preserves non-negativity and
 // total mass at every step. It is the robust default for the large HAP
-// chains. It returns the distribution and the number of iterations.
-func (c *Chain) SteadyState(opts *SteadyOptions) ([]float64, int, error) {
+// chains. It returns the distribution and the iteration diagnostics; the
+// iterate is returned (normalised) even when the budget runs out or the
+// context is cancelled.
+func (c *Chain) SteadyState(opts *SteadyOptions) ([]float64, Stats, error) {
 	o := opts.defaults(c.N())
 	n := c.N()
 	lam := c.MaxOutRate() * 1.02 // strictly above the max rate keeps P aperiodic
@@ -121,7 +149,7 @@ func (c *Chain) SteadyState(opts *SteadyOptions) ([]float64, int, error) {
 		for i := range pi {
 			pi[i] = 1 / float64(n)
 		}
-		return pi, 0, nil
+		return pi, Stats{Converged: true}, nil
 	}
 	pi := make([]float64, n)
 	if o.Pi0 != nil && len(o.Pi0) == n {
@@ -135,6 +163,7 @@ func (c *Chain) SteadyState(opts *SteadyOptions) ([]float64, int, error) {
 	next := make([]float64, n)
 	prevCheck := make([]float64, n)
 	copy(prevCheck, pi)
+	residual := math.Inf(1)
 	for it := 1; it <= o.MaxIter; it++ {
 		// next = pi * (I + Q/lam)
 		for i := range next {
@@ -152,14 +181,22 @@ func (c *Chain) SteadyState(opts *SteadyOptions) ([]float64, int, error) {
 		pi, next = next, pi
 		if it%o.CheckEvery == 0 {
 			normalise(pi)
-			if maxRelDiff(pi, prevCheck) < o.Tol {
-				return pi, it, nil
+			residual = maxRelDiff(pi, prevCheck)
+			if residual < o.Tol {
+				return pi, Stats{Iterations: it, Residual: residual, Converged: true}, nil
 			}
 			copy(prevCheck, pi)
 		}
+		// Poll every sweep: ctx.Err is an atomic load, invisible next to a
+		// sweep over the whole chain, and large chains make even a few
+		// sweeps between polls feel unresponsive.
+		if err := o.cancelled(); err != nil {
+			normalise(pi)
+			return pi, Stats{Iterations: it, Residual: residual}, fmt.Errorf("markov: steady state: %w", err)
+		}
 	}
 	normalise(pi)
-	return pi, o.MaxIter, ErrNotConverged
+	return pi, Stats{Iterations: o.MaxIter, Residual: residual}, fmt.Errorf("markov: steady state: %w", ErrNotConverged)
 }
 
 // GaussSeidel computes the stationary distribution by sweeping the global
@@ -172,9 +209,14 @@ func (c *Chain) SteadyState(opts *SteadyOptions) ([]float64, int, error) {
 // starting from k = 0"). The visit order is the state index order, so build
 // chains with a k-shell-ordered lattice if that sweep order is wanted.
 // Requires every state to have positive out rate (irreducible chains do).
-func (c *Chain) GaussSeidel(opts *SteadyOptions) ([]float64, int, error) {
+// The iterate is returned even when the budget runs out or the context is
+// cancelled; Stats says how far it got.
+func (c *Chain) GaussSeidel(opts *SteadyOptions) ([]float64, Stats, error) {
 	o := opts.defaults(c.N())
 	n := c.N()
+	if err := o.cancelled(); err != nil {
+		return nil, Stats{}, fmt.Errorf("markov: gauss-seidel: %w", err)
+	}
 	// Build the reverse adjacency once: in(i) lists (j, rate j→i).
 	in := make([][]Transition, n)
 	for j, row := range c.rows {
@@ -192,6 +234,7 @@ func (c *Chain) GaussSeidel(opts *SteadyOptions) ([]float64, int, error) {
 		}
 	}
 	prev := make([]float64, n)
+	residual := math.Inf(1)
 	for it := 1; it <= o.MaxIter; it++ {
 		copy(prev, pi)
 		for i := 0; i < n; i++ {
@@ -205,11 +248,16 @@ func (c *Chain) GaussSeidel(opts *SteadyOptions) ([]float64, int, error) {
 			pi[i] = inflow / c.outRate[i]
 		}
 		normalise(pi)
-		if maxRelDiff(pi, prev) < o.Tol {
-			return pi, it, nil
+		residual = maxRelDiff(pi, prev)
+		if residual < o.Tol {
+			return pi, Stats{Iterations: it, Residual: residual, Converged: true}, nil
+		}
+		// Poll every sweep — a sweep over a large chain dwarfs the check.
+		if err := o.cancelled(); err != nil {
+			return pi, Stats{Iterations: it, Residual: residual}, fmt.Errorf("markov: gauss-seidel: %w", err)
 		}
 	}
-	return pi, o.MaxIter, ErrNotConverged
+	return pi, Stats{Iterations: o.MaxIter, Residual: residual}, fmt.Errorf("markov: gauss-seidel: %w", ErrNotConverged)
 }
 
 func normalise(pi []float64) {

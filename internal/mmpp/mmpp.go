@@ -11,6 +11,7 @@
 package mmpp
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -43,10 +44,17 @@ func New(chain *markov.Chain, rates []float64) *MMPP {
 
 // Stationary returns (and caches) the stationary law of the modulator.
 func (m *MMPP) Stationary() ([]float64, error) {
+	return m.StationaryCtx(nil)
+}
+
+// StationaryCtx is Stationary with cooperative cancellation: the power
+// iteration polls ctx (nil means "never cancelled") and aborts with the
+// context error. Cancelled solves are not cached.
+func (m *MMPP) StationaryCtx(ctx context.Context) ([]float64, error) {
 	if m.pi != nil {
 		return m.pi, nil
 	}
-	pi, _, err := m.Chain.SteadyState(&markov.SteadyOptions{Tol: 1e-11})
+	pi, _, err := m.Chain.SteadyState(&markov.SteadyOptions{Tol: 1e-11, Ctx: ctx})
 	if err != nil {
 		return nil, err
 	}
@@ -101,7 +109,13 @@ func (m *MMPP) AsymptoticIDC(tau float64) (float64, error) {
 // weight π(k)·Rates[k]/λ̄ (zero-rate states carry no weight). The second
 // return is λ̄.
 func (m *MMPP) InterarrivalMixture() (weights, rates []float64, meanRate float64, err error) {
-	pi, err := m.Stationary()
+	return m.InterarrivalMixtureCtx(nil)
+}
+
+// InterarrivalMixtureCtx is InterarrivalMixture with cooperative
+// cancellation of the underlying stationary solve.
+func (m *MMPP) InterarrivalMixtureCtx(ctx context.Context) (weights, rates []float64, meanRate float64, err error) {
+	pi, err := m.StationaryCtx(ctx)
 	if err != nil {
 		return nil, nil, 0, err
 	}

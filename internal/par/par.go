@@ -11,6 +11,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -75,6 +76,48 @@ func MapN[T any](n, workers int, fn func(i int) T) []T {
 	return out
 }
 
+// MapNCtx is MapN with cooperative cancellation: once ctx is done, no new
+// index is handed out (in-flight items finish; fn is responsible for its
+// own early exit if it also watches ctx). Unstarted slots keep their zero
+// value, so callers that aggregate must skip zeros — determinism still
+// holds for every slot that did run. A nil ctx is never cancelled.
+func MapNCtx[T any](ctx context.Context, n, workers int, fn func(i int) T) []T {
+	if ctx == nil {
+		return MapN(n, workers, fn)
+	}
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	workers = Workers(workers, n)
+	if workers == 1 {
+		for i := range out {
+			if ctx.Err() != nil {
+				break
+			}
+			out[i] = fn(i)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
 // MapErr runs fn(0..n-1) on up to workers goroutines (<= 0 selects
 // GOMAXPROCS). All n items run to completion; if any failed, the error of
 // the lowest failing index is returned (deterministically, regardless of
@@ -106,6 +149,15 @@ func Replicate[T any](n int, seedBase int64, fn func(rep int, seed int64) T) []T
 // GOMAXPROCS, 1 runs inline).
 func ReplicateN[T any](n int, seedBase int64, workers int, fn func(rep int, seed int64) T) []T {
 	return MapN(n, workers, func(i int) T {
+		return fn(i, dist.SubSeed(seedBase, i))
+	})
+}
+
+// ReplicateNCtx is ReplicateN with cooperative cancellation (see MapNCtx):
+// replications not yet started when ctx is cancelled are skipped and leave
+// zero-valued slots.
+func ReplicateNCtx[T any](ctx context.Context, n int, seedBase int64, workers int, fn func(rep int, seed int64) T) []T {
+	return MapNCtx(ctx, n, workers, func(i int) T {
 		return fn(i, dist.SubSeed(seedBase, i))
 	})
 }

@@ -63,17 +63,17 @@ func TestTrapezoidAgreesWithSimpson(t *testing.T) {
 }
 
 func TestBisect(t *testing.T) {
-	root, err := Bisect(func(x float64) float64 { return x*x - 2 }, 0, 2, 1e-12)
+	root, _, err := Bisect(func(x float64) float64 { return x*x - 2 }, 0, 2, 1e-12)
 	if err != nil {
 		t.Fatal(err)
 	}
 	wantClose(t, "sqrt2", root, math.Sqrt2, 1e-10)
 
-	if _, err := Bisect(func(x float64) float64 { return x*x + 1 }, -1, 1, 1e-10); err == nil {
+	if _, _, err := Bisect(func(x float64) float64 { return x*x + 1 }, -1, 1, 1e-10); err == nil {
 		t.Error("expected ErrNoConvergence for non-bracketing interval")
 	}
 	// Roots at endpoints.
-	r, err := Bisect(func(x float64) float64 { return x }, 0, 1, 1e-10)
+	r, _, err := Bisect(func(x float64) float64 { return x }, 0, 1, 1e-10)
 	if err != nil || r != 0 {
 		t.Errorf("endpoint root: got %v, %v", r, err)
 	}
@@ -172,7 +172,7 @@ func TestQuickSimpsonCDFMonotone(t *testing.T) {
 func TestQuickBisectLinear(t *testing.T) {
 	f := func(c float64) bool {
 		cc := math.Mod(math.Abs(c), 10)
-		root, err := Bisect(func(x float64) float64 { return x - cc }, -1, 11, 1e-10)
+		root, _, err := Bisect(func(x float64) float64 { return x - cc }, -1, 11, 1e-10)
 		return err == nil && math.Abs(root-cc) < 1e-8
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {

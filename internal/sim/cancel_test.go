@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"hap/internal/core"
+	"hap/internal/haperr"
+)
+
+// The PR's cancellation acceptance test: a 64-replication fan-out whose
+// replications each simulate a long horizon must return promptly once the
+// shared context is cancelled, reporting context.Canceled — not hang until
+// every horizon completes.
+func TestReplicateRunsCancelPromptly(t *testing.T) {
+	m := core.PaperParams(20)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	run := func(rep int, seed int64) *RunResult {
+		// ~10⁷ events per replication without cancellation: the full
+		// fan-out would take minutes.
+		return RunHAP(m, Config{Horizon: 1e6, Seed: seed, Ctx: ctx})
+	}
+	start := time.Now()
+	agg, err := ReplicateRunsContext(ctx, 64, 1993, 4, run)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("cancellation took %v, want prompt return", elapsed)
+	}
+	if !agg.Truncated {
+		t.Error("aggregate must be flagged Truncated after cancellation")
+	}
+	if agg.Skipped == 0 {
+		t.Error("expected some of the 64 replications to be skipped entirely")
+	}
+	if len(agg.Reps) != 64 {
+		t.Errorf("Reps length %d, want 64 (nil for skipped)", len(agg.Reps))
+	}
+	if code := haperr.ExitCode(err); code != haperr.ExitCancelled {
+		t.Errorf("exit code %d, want %d", code, haperr.ExitCancelled)
+	}
+}
+
+// Satellite regression: merging replications truncated by a small event
+// budget must produce sane aggregate statistics — the old accumulators
+// panicked with "time went backwards" on the float jitter such merges
+// introduce, and a budget-stopped run must still close its measurement
+// window.
+func TestMergeTruncatedReplications(t *testing.T) {
+	m := core.PaperParams(20)
+	run := func(rep int, seed int64) *RunResult {
+		return RunHAP(m, Config{Horizon: 1e6, Seed: seed, MaxEvents: 500,
+			Measure: MeasureConfig{TrackBusy: true}})
+	}
+	agg := ReplicateRuns(16, 7, 4, run)
+	if agg.Err != nil {
+		t.Fatalf("merge of truncated replications errored: %v", agg.Err)
+	}
+	if !agg.Truncated {
+		t.Fatal("replications hit MaxEvents, aggregate must be Truncated")
+	}
+	for i, r := range agg.Reps {
+		if r == nil || !r.Truncated {
+			t.Fatalf("rep %d: not truncated (%+v)", i, r)
+		}
+		if r.Events > 500 {
+			t.Fatalf("rep %d: %d events, budget was 500", i, r.Events)
+		}
+	}
+	if agg.Merged == nil {
+		t.Fatal("no merged measurements")
+	}
+	if d := agg.Merged.MeanDelay(); !(d >= 0) || math.IsInf(d, 1) {
+		t.Errorf("merged mean delay = %v, want finite and non-negative", d)
+	}
+	if q := agg.Merged.MeanQueue(); !(q >= 0) || math.IsInf(q, 1) {
+		t.Errorf("merged mean queue = %v, want finite and non-negative", q)
+	}
+	if agg.Events == 0 || agg.Arrivals == 0 {
+		t.Error("aggregate counters empty; truncated spans must still count")
+	}
+}
+
+// A run handed an already-cancelled context must not simulate at all and
+// must say why.
+func TestRunCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := RunHAP(core.PaperParams(20), Config{Horizon: 1e6, Seed: 1, Ctx: ctx})
+	if !errors.Is(res.Err, context.Canceled) {
+		t.Fatalf("Err = %v, want context.Canceled", res.Err)
+	}
+	if !res.Truncated {
+		t.Error("cancelled run must be flagged Truncated")
+	}
+}
+
+// Invalid configurations and models surface as RunResult.Err, never panics.
+func TestRunRejectsInvalidInputs(t *testing.T) {
+	if res := RunHAP(core.PaperParams(20), Config{Horizon: -1}); !errors.Is(res.Err, haperr.ErrBadParameter) {
+		t.Errorf("negative horizon: Err = %v, want ErrBadParameter", res.Err)
+	}
+	if res := RunPoisson(math.NaN(), 10, Config{Horizon: 100}); !errors.Is(res.Err, haperr.ErrBadParameter) {
+		t.Errorf("NaN rate: Err = %v, want ErrBadParameter", res.Err)
+	}
+	bad := core.NewSymmetric(0.0055, 0.001, 0.01, 0.01, 0.1, 20, 5, 3)
+	bad.Lambda = math.Inf(1)
+	if res := RunHAP(bad, Config{Horizon: 100}); !errors.Is(res.Err, haperr.ErrBadParameter) {
+		t.Errorf("Inf model rate: Err = %v, want ErrBadParameter", res.Err)
+	}
+}

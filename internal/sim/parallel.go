@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -26,21 +27,34 @@ type ReplicatedResult struct {
 	Arrivals   int64
 	Departures int64
 	Events     int64
-	// Truncated reports whether any replication hit its event budget.
+	// Truncated reports whether any replication hit its event budget or
+	// was cancelled.
 	Truncated bool
-	Elapsed   time.Duration
+	// Skipped counts replications never started (only possible when the
+	// fan-out context was cancelled before they were handed out).
+	Skipped int
+	// Err is the first per-replication error in replication order, or the
+	// fan-out's context error — see ReplicateRunsContext.
+	Err     error
+	Elapsed time.Duration
 }
 
 // MergeRuns folds per-replication results into one aggregate. Nil entries
-// (possible only if a caller filtered) are skipped. Merged is a fresh
-// collector configured like the first replication's, so no RunResult is
-// mutated; Elapsed sums the per-replication wall times until ReplicateRuns
-// overwrites it with the true wall clock of the fan-out.
+// (replications a cancelled fan-out never started, or caller-filtered) are
+// counted in Skipped and otherwise ignored. Merged is a fresh collector
+// configured like the first replication's, so no RunResult is mutated;
+// Elapsed sums the per-replication wall times until ReplicateRuns
+// overwrites it with the true wall clock of the fan-out. Err is the first
+// non-nil per-replication error in replication order.
 func MergeRuns(runs []*RunResult) *ReplicatedResult {
 	agg := &ReplicatedResult{Reps: runs}
 	for _, r := range runs {
 		if r == nil {
+			agg.Skipped++
 			continue
+		}
+		if r.Err != nil && agg.Err == nil {
+			agg.Err = r.Err
 		}
 		if agg.Merged == nil {
 			agg.Merged = NewMeasurements(r.Meas.cfg)
@@ -65,8 +79,26 @@ func MergeRuns(runs []*RunResult) *ReplicatedResult {
 // so the aggregate is bit-identical for every worker count — parallelism
 // changes wall-clock time, never the statistics.
 func ReplicateRuns(n int, seedBase int64, workers int, run func(rep int, seed int64) *RunResult) *ReplicatedResult {
-	start := time.Now()
-	agg := MergeRuns(par.ReplicateN(n, seedBase, workers, run))
-	agg.Elapsed = time.Since(start)
+	agg, _ := ReplicateRunsContext(nil, n, seedBase, workers, run)
 	return agg
+}
+
+// ReplicateRunsContext is ReplicateRuns with cooperative cancellation: once
+// ctx is done no further replication starts, and replications that watch
+// the same context through Config.Ctx stop mid-run. The aggregate covers
+// whatever completed (possibly partially); the returned error is the
+// context error if the fan-out was cancelled, else the first
+// per-replication error in replication order, else nil. A nil ctx never
+// cancels.
+func ReplicateRunsContext(ctx context.Context, n int, seedBase int64, workers int, run func(rep int, seed int64) *RunResult) (*ReplicatedResult, error) {
+	start := time.Now()
+	agg := MergeRuns(par.ReplicateNCtx(ctx, n, seedBase, workers, run))
+	agg.Elapsed = time.Since(start)
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			agg.Err = err
+			agg.Truncated = true
+		}
+	}
+	return agg, agg.Err
 }

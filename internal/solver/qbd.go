@@ -1,12 +1,12 @@
 package solver
 
 import (
-	"errors"
 	"fmt"
 	"math"
 	"time"
 
 	"hap/internal/core"
+	"hap/internal/haperr"
 	"hap/internal/linalg"
 	"hap/internal/mmpp"
 )
@@ -29,14 +29,15 @@ import (
 
 // QBD is the matrix-geometric solution of a modulated M/M/1-type queue.
 type QBD struct {
-	P      int // number of modulator phases
-	Rates  []float64
-	Mu     float64
-	R      *linalg.Dense // rate matrix
-	Pi0    []float64     // stationary vector of level 0
-	Pi1    []float64     // stationary vector of level 1
-	SumPi  []float64     // π₁(I−R)⁻¹ = Σ_{z≥1} π_z
-	LRIter int
+	P        int // number of modulator phases
+	Rates    []float64
+	Mu       float64
+	R        *linalg.Dense // rate matrix
+	Pi0      []float64     // stationary vector of level 0
+	Pi1      []float64     // stationary vector of level 1
+	SumPi    []float64     // π₁(I−R)⁻¹ = Σ_{z≥1} π_z
+	LRIter   int
+	Residual float64 // final R-iteration convergence metric
 }
 
 // RMethod selects how the rate matrix R is computed.
@@ -66,7 +67,7 @@ func SolveQBD(proc *mmpp.MMPP, mu float64, method RMethod, tol float64) (*QBD, e
 		return nil, err
 	}
 	if meanRate >= mu {
-		return nil, fmt.Errorf("solver: qbd unstable (λ̄=%v >= μ=%v)", meanRate, mu)
+		return nil, fmt.Errorf("solver: qbd λ̄=%v >= μ=%v: %w", meanRate, mu, haperr.ErrUnstable)
 	}
 
 	// Dense modulator generator.
@@ -108,17 +109,18 @@ func SolveQBD(proc *mmpp.MMPP, mu float64, method RMethod, tol float64) (*QBD, e
 
 	var r *linalg.Dense
 	var iters int
+	var residual float64
 	switch method {
 	case RMethodFunctional:
-		r, iters, err = rFunctional(a0, a1, a2, tol)
+		r, iters, residual, err = rFunctional(a0, a1, a2, tol)
 	default:
-		r, iters, err = rLogReduction(a0, a1, a2, tol)
+		r, iters, residual, err = rLogReduction(a0, a1, a2, tol)
 	}
 	if err != nil {
 		return nil, err
 	}
 
-	qbd := &QBD{P: p, Rates: rates, Mu: mu, R: r, LRIter: iters}
+	qbd := &QBD{P: p, Rates: rates, Mu: mu, R: r, LRIter: iters, Residual: residual}
 	if err := qbd.solveBoundary(q, c); err != nil {
 		return nil, err
 	}
@@ -126,8 +128,9 @@ func SolveQBD(proc *mmpp.MMPP, mu float64, method RMethod, tol float64) (*QBD, e
 }
 
 // rLogReduction runs Latouche–Ramaswami logarithmic reduction for G, then
-// converts to R = Ā0(I − Ā1 − Ā0G)⁻¹.
-func rLogReduction(a0, a1, a2 *linalg.Dense, tol float64) (*linalg.Dense, int, error) {
+// converts to R = Ā0(I − Ā1 − Ā0G)⁻¹. The third return is the final
+// stochasticity defect of G (the convergence metric).
+func rLogReduction(a0, a1, a2 *linalg.Dense, tol float64) (*linalg.Dense, int, float64, error) {
 	p := a0.R
 	eye := linalg.Eye(p)
 	tmp := linalg.NewDense(p, p)
@@ -136,7 +139,7 @@ func rLogReduction(a0, a1, a2 *linalg.Dense, tol float64) (*linalg.Dense, int, e
 	linalg.Sub(tmp, eye, a1)
 	f, err := linalg.Factor(tmp)
 	if err != nil {
-		return nil, 0, fmt.Errorf("solver: qbd I−A1 singular: %w", err)
+		return nil, 0, math.Inf(1), fmt.Errorf("solver: qbd I−A1 singular: %w", err)
 	}
 	u := f.Solve(a0)
 	l := f.Solve(a2)
@@ -146,6 +149,7 @@ func rLogReduction(a0, a1, a2 *linalg.Dense, tol float64) (*linalg.Dense, int, e
 	m1 := linalg.NewDense(p, p)
 	m2 := linalg.NewDense(p, p)
 	iters := 0
+	maxDef := math.Inf(1)
 	for it := 0; it < 64; it++ {
 		iters = it + 1
 		// D = U·L + L·U.
@@ -154,7 +158,7 @@ func rLogReduction(a0, a1, a2 *linalg.Dense, tol float64) (*linalg.Dense, int, e
 		linalg.Sub(m1, eye, m1)
 		fD, err := linalg.Factor(m1)
 		if err != nil {
-			return nil, iters, fmt.Errorf("solver: qbd I−D singular: %w", err)
+			return nil, iters, maxDef, fmt.Errorf("solver: qbd I−D singular: %w", err)
 		}
 		// U' = (I−D)⁻¹U², L' = (I−D)⁻¹L².
 		linalg.Mul(m2, u, u)
@@ -169,7 +173,7 @@ func rLogReduction(a0, a1, a2 *linalg.Dense, tol float64) (*linalg.Dense, int, e
 		t.Copy(m2)
 		u, l = u2, l2
 		// Converged when G is (numerically) stochastic or T vanished.
-		maxDef := 0.0
+		maxDef = 0.0
 		for _, s := range g.RowSums() {
 			if d := math.Abs(1 - s); d > maxDef {
 				maxDef = d
@@ -185,19 +189,20 @@ func rLogReduction(a0, a1, a2 *linalg.Dense, tol float64) (*linalg.Dense, int, e
 	linalg.Sub(m1, linalg.Eye(p), m1)
 	fR, err := linalg.Factor(m1)
 	if err != nil {
-		return nil, iters, fmt.Errorf("solver: qbd R conversion singular: %w", err)
+		return nil, iters, maxDef, fmt.Errorf("solver: qbd R conversion singular: %w", err)
 	}
 	r := fR.SolveRight(a0)
-	return r, iters, nil
+	return r, iters, maxDef, nil
 }
 
 // rFunctional runs the naive fixed-point iteration for R.
-func rFunctional(a0, a1, a2 *linalg.Dense, tol float64) (*linalg.Dense, int, error) {
+func rFunctional(a0, a1, a2 *linalg.Dense, tol float64) (*linalg.Dense, int, float64, error) {
 	p := a0.R
 	r := linalg.NewDense(p, p)
 	next := linalg.NewDense(p, p)
 	r2 := linalg.NewDense(p, p)
 	diff := linalg.NewDense(p, p)
+	d := math.Inf(1)
 	for it := 1; it <= 200000; it++ {
 		// next = A0 + R·A1 + R²·A2.
 		next.Copy(a0)
@@ -205,13 +210,13 @@ func rFunctional(a0, a1, a2 *linalg.Dense, tol float64) (*linalg.Dense, int, err
 		linalg.Mul(r2, r, r)
 		linalg.MulAdd(next, r2, a2)
 		linalg.Sub(diff, next, r)
-		d := diff.MaxAbs()
+		d = diff.MaxAbs()
 		r.Copy(next)
 		if d < tol {
-			return r, it, nil
+			return r, it, d, nil
 		}
 	}
-	return nil, 0, errors.New("solver: qbd functional iteration did not converge")
+	return nil, 200000, d, fmt.Errorf("solver: qbd functional iteration: %w", haperr.ErrNotConverged)
 }
 
 // solveBoundary solves the level-0/level-1 balance equations with the CTMC
@@ -409,6 +414,8 @@ func solveQBDResult(proc *mmpp.MMPP, muMsg float64, opts *Options, start time.Ti
 		Delay:      nbar / lam,
 		QueueLen:   nbar,
 		Iterations: qb.LRIter,
+		Residual:   qb.Residual,
+		Converged:  true,
 		States:     qb.P,
 		Elapsed:    time.Since(start),
 	}, nil

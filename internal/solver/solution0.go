@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -46,6 +47,13 @@ func Solution0(m *core.Model, opts *Options) (Result, error) {
 	lat := markov.NewLattice(maxU+1, maxA+1, maxZ+1)
 	chain := markov.NewChain(lat.N())
 	for s := 0; s < lat.N(); s++ {
+		// The build alone takes seconds on multi-million-state lattices, so
+		// poll the context here too, not only inside the sweeps.
+		if s&0xFFFF == 0 {
+			if err := opts.ctx().Err(); err != nil {
+				return Result{}, fmt.Errorf("solver: solution 0: %w", err)
+			}
+		}
 		x, y, z := lat.At(s, 0), lat.At(s, 1), lat.At(s, 2)
 		if to, ok := lat.Shift(s, 0, +1); ok {
 			chain.Add(s, to, m.Lambda)
@@ -69,17 +77,33 @@ func Solution0(m *core.Model, opts *Options) (Result, error) {
 		}
 	}
 
-	sopts := &markov.SteadyOptions{Tol: opts.tol(), MaxIter: opts.maxIter()}
+	sopts := &markov.SteadyOptions{Tol: opts.tol(), MaxIter: opts.maxIter(), Ctx: opts.Ctx}
 	if !opts.DisableWarmStart {
 		if pi0, err := warmStart(m, lat, maxU, maxA, muMsg, opts); err == nil {
 			sopts.Pi0 = pi0
 		}
 	}
-	pi, iters, solveErr := chain.GaussSeidel(sopts)
+	pi, stats, solveErr := chain.GaussSeidel(sopts)
 	if solveErr != nil {
-		// The iterate is still usable; report it with the error so callers
-		// can see how far the sweep got (the paper's own runs were budget
-		// bound too).
+		if ctxErr := opts.ctx().Err(); ctxErr != nil {
+			// A cancelled solve did not "fail to converge"; report the
+			// cancellation and do not fall back.
+			return Result{}, fmt.Errorf("solver: solution 0: %w", solveErr)
+		}
+		if errors.Is(solveErr, markov.ErrNotConverged) && !opts.DisableFallback {
+			// Budget exhausted: degrade to the closed-form Solution 2 and
+			// flag it, so long sweeps near ρ→1 yield a usable answer
+			// instead of an error (the paper's own two-week runs were
+			// budget bound too). The fallback keeps its own diagnostics.
+			if fb, fbErr := Solution2(m, opts); fbErr == nil {
+				fb.Method = "solution0-fallback-solution2"
+				fb.Degraded = true
+				fb.Elapsed = time.Since(start)
+				return fb, nil
+			}
+		}
+		// Fallback disabled or impossible: report the partial iterate with
+		// the error so callers can see how far the sweep got.
 		solveErr = fmt.Errorf("solver: solution 0: %w", solveErr)
 	}
 
@@ -106,7 +130,9 @@ func Solution0(m *core.Model, opts *Options) (Result, error) {
 		Sigma:      busyWeighted / meanRate,
 		Delay:      meanN / meanRate,
 		QueueLen:   meanN,
-		Iterations: iters,
+		Iterations: stats.Iterations,
+		Residual:   stats.Residual,
+		Converged:  stats.Converged,
 		States:     lat.N(),
 		Elapsed:    time.Since(start),
 	}
@@ -123,7 +149,7 @@ func warmStart(m *core.Model, lat *markov.Lattice, maxU, maxA int, muMsg float64
 	if err != nil {
 		return nil, err
 	}
-	s1, err := Solution1(m, &Options{MaxUsers: maxU, MaxApps: maxA, Tol: 1e-8})
+	s1, err := Solution1(m, &Options{MaxUsers: maxU, MaxApps: maxA, Tol: 1e-8, Ctx: opts.Ctx})
 	if err != nil {
 		return nil, err
 	}
@@ -189,6 +215,11 @@ func Solution0General(m *core.Model, maxUsers int, maxAppsPerType []int, maxQueu
 	}
 	coords := make([]int, l+2)
 	for s := 0; s < lat.N(); s++ {
+		if s&0xFFFF == 0 {
+			if err := opts.ctx().Err(); err != nil {
+				return Result{}, fmt.Errorf("solver: solution 0 general: %w", err)
+			}
+		}
 		lat.Coords(s, coords)
 		x := coords[0]
 		if to, ok := lat.Shift(s, 0, +1); ok {
@@ -215,7 +246,7 @@ func Solution0General(m *core.Model, maxUsers int, maxAppsPerType []int, maxQueu
 			chain.Add(s, to, muMsg)
 		}
 	}
-	pi, iters, err := chain.GaussSeidel(&markov.SteadyOptions{Tol: opts.tol(), MaxIter: opts.maxIter()})
+	pi, stats, err := chain.GaussSeidel(&markov.SteadyOptions{Tol: opts.tol(), MaxIter: opts.maxIter(), Ctx: opts.Ctx})
 	if err != nil {
 		return Result{}, fmt.Errorf("solver: solution 0 general: %w", err)
 	}
@@ -243,7 +274,9 @@ func Solution0General(m *core.Model, maxUsers int, maxAppsPerType []int, maxQueu
 		Sigma:      busyWeighted / meanRate,
 		Delay:      meanN / meanRate,
 		QueueLen:   meanN,
-		Iterations: iters,
+		Iterations: stats.Iterations,
+		Residual:   stats.Residual,
+		Converged:  stats.Converged,
 		States:     lat.N(),
 		Elapsed:    time.Since(start),
 	}, nil

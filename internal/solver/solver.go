@@ -17,12 +17,14 @@
 package solver
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
 
 	"hap/internal/core"
 	"hap/internal/gm1"
+	"hap/internal/haperr"
 	"hap/internal/mmpp"
 )
 
@@ -35,13 +37,30 @@ type Result struct {
 	Delay      float64       // mean message sojourn time T
 	QueueLen   float64       // mean number in system N̄
 	Iterations int           // solver iterations
+	Residual   float64       // final convergence metric of the inner iteration
+	Converged  bool          // inner iteration met its tolerance
+	Degraded   bool          // requested method exhausted its budget; a fallback produced this result
 	States     int           // chain states solved (0 for Solution 2)
 	Elapsed    time.Duration // wall-clock cost
 }
 
 func (r Result) String() string {
-	return fmt.Sprintf("%s{λ̄=%.4g ρ=%.3g σ=%.4g T=%.4g N̄=%.4g states=%d iters=%d %v}",
-		r.Method, r.MeanRate, r.Rho, r.Sigma, r.Delay, r.QueueLen, r.States, r.Iterations, r.Elapsed.Round(time.Millisecond))
+	flag := ""
+	if r.Degraded {
+		flag = " DEGRADED"
+	}
+	return fmt.Sprintf("%s{λ̄=%.4g ρ=%.3g σ=%.4g T=%.4g N̄=%.4g states=%d iters=%d residual=%.2g %v%s}",
+		r.Method, r.MeanRate, r.Rho, r.Sigma, r.Delay, r.QueueLen, r.States, r.Iterations, r.Residual,
+		r.Elapsed.Round(time.Millisecond), flag)
+}
+
+// Diag returns the solve diagnostics in the shared form.
+func (r Result) Diag() haperr.Diag {
+	d := haperr.Diag{Iterations: r.Iterations, Residual: r.Residual, Converged: r.Converged}
+	if r.Degraded {
+		d.Fallback = r.Method
+	}
+	return d
 }
 
 // Options tunes the solvers. The zero value picks sensible defaults.
@@ -61,6 +80,22 @@ type Options struct {
 	// WarmStart seeds Solution 0 with the modulator law × geometric queue
 	// product guess (default true via warmStart()).
 	DisableWarmStart bool
+	// DisableFallback stops Solution 0 from degrading to Solution 2 when
+	// its sweep budget runs out; the not-converged error is returned with
+	// the partial iterate's statistics instead.
+	DisableFallback bool
+	// Ctx, when non-nil, bounds the solve: it is polled inside the chain
+	// sweeps and σ iterations, and a cancelled context aborts with the
+	// context error. Nil means context.Background().
+	Ctx context.Context
+}
+
+// ctx returns the configured context or Background.
+func (o *Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 func (o *Options) bounds(m *core.Model) (int, int) {
@@ -119,7 +154,7 @@ func Solution2(m *core.Model, opts *Options) (Result, error) {
 	}
 	ia := m.Interarrival()
 	lam := ia.MeanRate()
-	res, err := gm1.Solve(ia.Laplace, lam, muMsg, &gm1.Options{Method: opts.SigmaMethod, Tol: opts.tol()})
+	res, err := gm1.Solve(ia.Laplace, lam, muMsg, &gm1.Options{Method: opts.SigmaMethod, Tol: opts.tol(), Ctx: opts.Ctx})
 	if err != nil {
 		return Result{}, fmt.Errorf("solver: solution 2: %w", err)
 	}
@@ -131,6 +166,8 @@ func Solution2(m *core.Model, opts *Options) (Result, error) {
 		Delay:      res.Delay,
 		QueueLen:   res.QueueLen,
 		Iterations: res.Iterations,
+		Residual:   res.Residual,
+		Converged:  res.Converged,
 		Elapsed:    time.Since(start),
 	}, nil
 }
@@ -143,6 +180,9 @@ func Solution2Bounded(m *core.Model, maxUsers, maxApps int, opts *Options) (Resu
 	if opts == nil {
 		opts = &Options{}
 	}
+	if err := m.Validate(); err != nil {
+		return Result{}, err
+	}
 	muMsg, ok := m.UniformServiceRate()
 	if !ok {
 		return Result{}, fmt.Errorf("solver: bounded Solution 2 requires a uniform message service rate")
@@ -151,7 +191,7 @@ func Solution2Bounded(m *core.Model, maxUsers, maxApps int, opts *Options) (Resu
 	if err != nil {
 		return Result{}, err
 	}
-	res, err := gm1.Solve(mix.Laplace, mix.MeanRate, muMsg, &gm1.Options{Method: opts.SigmaMethod, Tol: opts.tol()})
+	res, err := gm1.Solve(mix.Laplace, mix.MeanRate, muMsg, &gm1.Options{Method: opts.SigmaMethod, Tol: opts.tol(), Ctx: opts.Ctx})
 	if err != nil {
 		return Result{}, fmt.Errorf("solver: bounded solution 2: %w", err)
 	}
@@ -163,6 +203,8 @@ func Solution2Bounded(m *core.Model, maxUsers, maxApps int, opts *Options) (Resu
 		Delay:      res.Delay,
 		QueueLen:   res.QueueLen,
 		Iterations: res.Iterations,
+		Residual:   res.Residual,
+		Converged:  res.Converged,
 		States:     len(mix.Weights),
 		Elapsed:    time.Since(start),
 	}, nil
@@ -176,6 +218,9 @@ func Solution1(m *core.Model, opts *Options) (Result, error) {
 	start := time.Now()
 	if opts == nil {
 		opts = &Options{}
+	}
+	if err := m.Validate(); err != nil {
+		return Result{}, err
 	}
 	muMsg, ok := m.UniformServiceRate()
 	if !ok {
@@ -197,9 +242,9 @@ func Solution1(m *core.Model, opts *Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	weights, rates, lam, err := proc.InterarrivalMixture()
+	weights, rates, lam, err := proc.InterarrivalMixtureCtx(opts.ctx())
 	if err != nil {
-		return Result{}, err
+		return Result{}, fmt.Errorf("solver: solution 1 modulator: %w", err)
 	}
 	laplace := func(s float64) float64 {
 		var v float64
@@ -208,7 +253,7 @@ func Solution1(m *core.Model, opts *Options) (Result, error) {
 		}
 		return v
 	}
-	res, err := gm1.Solve(laplace, lam, muMsg, &gm1.Options{Method: opts.SigmaMethod, Tol: opts.tol()})
+	res, err := gm1.Solve(laplace, lam, muMsg, &gm1.Options{Method: opts.SigmaMethod, Tol: opts.tol(), Ctx: opts.Ctx})
 	if err != nil {
 		return Result{}, fmt.Errorf("solver: solution 1: %w", err)
 	}
@@ -220,6 +265,8 @@ func Solution1(m *core.Model, opts *Options) (Result, error) {
 		Delay:      res.Delay,
 		QueueLen:   res.QueueLen,
 		Iterations: res.Iterations,
+		Residual:   res.Residual,
+		Converged:  res.Converged,
 		States:     proc.Chain.N(),
 		Elapsed:    time.Since(start),
 	}, nil
@@ -245,6 +292,9 @@ func perTypeBound(m *core.Model, i, capBound int) int {
 // Poisson returns the M/M/1 baseline at the model's mean rate — the
 // comparison the paper draws in every delay figure.
 func Poisson(m *core.Model) (Result, error) {
+	if err := m.Validate(); err != nil {
+		return Result{}, err
+	}
 	muMsg, ok := m.UniformServiceRate()
 	if !ok {
 		return Result{}, fmt.Errorf("solver: Poisson baseline requires a uniform service rate")
@@ -254,11 +304,12 @@ func Poisson(m *core.Model) (Result, error) {
 		return Result{}, err
 	}
 	return Result{
-		Method:   "poisson",
-		MeanRate: res.Lambda,
-		Rho:      res.Rho,
-		Sigma:    res.Sigma,
-		Delay:    res.Delay,
-		QueueLen: res.QueueLen,
+		Method:    "poisson",
+		MeanRate:  res.Lambda,
+		Rho:       res.Rho,
+		Sigma:     res.Sigma,
+		Delay:     res.Delay,
+		QueueLen:  res.QueueLen,
+		Converged: true,
 	}, nil
 }

@@ -52,7 +52,11 @@ func (bt *BusyTracker) Observe(t float64, n int) {
 		return
 	}
 	if t < bt.lastT {
-		panic("stats: BusyTracker time went backwards")
+		if grossRegression(t, bt.lastT) {
+			panic(fmt.Sprintf("stats: BusyTracker time went backwards (%v -> %v)", bt.lastT, t))
+		}
+		// Float jitter from merged/truncated windows: clamp to monotone.
+		t = bt.lastT
 	}
 	bt.lastT = t
 	switch {

@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+// Merging truncated parallel replications rebuilds clocks from float sums,
+// so last-ulp backwards steps are data, not bugs: the accumulators must
+// clamp them instead of panicking (the old code panicked on any dt < 0).
+func TestTimeWeightedToleratesClockJitter(t *testing.T) {
+	var tw TimeWeighted
+	tw.Start(0, 1)
+	tw.Update(1000, 2)
+	tw.Update(1000-1e-7, 3) // within TimeEps·scale: clamp, no panic
+	tw.Update(2000, 0)
+	if got := tw.Elapsed(); got != 2000 {
+		t.Errorf("Elapsed = %v, want 2000 (jitter step clamped)", got)
+	}
+	// Value 2 held [1000, 1000] (zero width), 3 held [1000, 2000]:
+	// mean = (1·1000 + 3·1000)/2000 = 2.
+	if got := tw.Mean(); got != 2 {
+		t.Errorf("Mean = %v, want 2", got)
+	}
+}
+
+func TestTimeWeightedGrossRegressionStillPanics(t *testing.T) {
+	var tw TimeWeighted
+	tw.Start(0, 1)
+	tw.Update(1000, 2)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic on a gross time regression")
+		}
+		if !strings.Contains(r.(string), "time went backwards") {
+			t.Errorf("panic = %v, want the time-went-backwards invariant", r)
+		}
+	}()
+	tw.Update(999, 3) // far beyond TimeEps·scale
+}
+
+func TestBusyTrackerToleratesClockJitter(t *testing.T) {
+	var bt BusyTracker
+	bt.Observe(0, 0)
+	bt.Observe(10, 1)
+	bt.Observe(10-1e-9, 2) // jitter while busy: clamped
+	bt.Observe(20, 0)
+	if bt.Mountains() != 1 {
+		t.Fatalf("Mountains = %d, want 1", bt.Mountains())
+	}
+	if got := bt.Busy.Mean(); got != 10 {
+		t.Errorf("busy period = %v, want 10", got)
+	}
+	if got := bt.Height.Mean(); got != 2 {
+		t.Errorf("height = %v, want 2 (jittered observation still counted)", got)
+	}
+}
+
+func TestBusyTrackerGrossRegressionStillPanics(t *testing.T) {
+	var bt BusyTracker
+	bt.Observe(0, 0)
+	bt.Observe(10, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on a gross time regression")
+		}
+	}()
+	bt.Observe(5, 2)
+}
+
+// The regression that motivated TimeEps: merge truncated windows whose
+// rebuilt clock lands an ulp short of the next update time.
+func TestMergeTruncatedWindowsNoPanic(t *testing.T) {
+	var a, b TimeWeighted
+	a.Start(0, 1)
+	a.Update(0.1+0.2, 2) // 0.30000000000000004
+	b.Start(0.3, 2)
+	b.Update(0.6, 1)
+	a.Merge(&b)
+	// Post-merge clock is start + ΣElapsed = 0.6000000000000001; an update
+	// at the exact 0.6 steps back one ulp and must be clamped, not fatal.
+	a.Update(0.6, 0)
+	if a.Elapsed() <= 0 {
+		t.Errorf("Elapsed = %v after merge, want positive", a.Elapsed())
+	}
+}

@@ -100,6 +100,21 @@ func (w *Welford) String() string {
 	return fmt.Sprintf("n=%d mean=%.6g std=%.6g min=%.6g max=%.6g", w.n, w.Mean(), w.Std(), w.min, w.max)
 }
 
+// TimeEps is the relative tolerance for non-monotone observation times.
+// Merging truncated parallel replications (and any arithmetic that rebuilds
+// a clock from sums, as TimeWeighted.Merge does) introduces last-ulp float
+// jitter; a clock that steps back by no more than TimeEps·max(1, |t|) is
+// clamped forward instead of treated as a caller bug. Gross regressions
+// still panic — event order is an engine invariant, not input data.
+const TimeEps = 1e-9
+
+// grossRegression reports whether t precedes last by more than the float
+// jitter TimeEps tolerates.
+func grossRegression(t, last float64) bool {
+	scale := math.Max(1, math.Max(math.Abs(t), math.Abs(last)))
+	return last-t > TimeEps*scale
+}
+
 // TimeWeighted accumulates the time average and time-weighted variance of a
 // piecewise-constant process such as queue length. Call Update with the new
 // value at each change instant; the process is assumed to hold the previous
@@ -130,7 +145,11 @@ func (tw *TimeWeighted) Update(t, v float64) {
 	}
 	dt := t - tw.last
 	if dt < 0 {
-		panic("stats: TimeWeighted time went backwards")
+		if grossRegression(t, tw.last) {
+			panic(fmt.Sprintf("stats: TimeWeighted time went backwards (%v -> %v)", tw.last, t))
+		}
+		// Float jitter from merged/truncated windows: clamp to monotone.
+		t, dt = tw.last, 0
 	}
 	tw.area += tw.lastVal * dt
 	tw.area2 += tw.lastVal * tw.lastVal * dt
