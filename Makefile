@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test ci fmt vet race bench-smoke bench baseline
+.PHONY: all build test ci fmt vet race race-all bench-smoke bench baseline metrics-smoke
 
 all: build test
 
@@ -24,7 +24,19 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/par ./internal/sim
+	$(GO) test -race ./internal/par ./internal/sim ./internal/obs
+
+# race-all runs the whole module under the race detector (the CI race job);
+# -short skips the wall-clock-sensitive netgen delivery assertions, and the
+# raised -timeout absorbs the detector's ~15x slowdown on the solver suite
+# (which busts go test's default 10 minute per-package budget).
+race-all:
+	$(GO) test -race -short -timeout 40m ./...
+
+# metrics-smoke boots cmd/hapsim with -metrics on an ephemeral port,
+# scrapes the exposition once, and asserts the required families are there.
+metrics-smoke:
+	$(GO) run ./scripts/metricsmoke
 
 bench-smoke:
 	$(GO) test -bench=SimulatorHAP -benchtime=1x -run '^$$' .

@@ -20,6 +20,11 @@ import (
 
 	"hap/internal/experiments"
 	"hap/internal/haperr"
+	"hap/internal/obs"
+
+	// Register the netgen metric families too, so one scrape shows the full
+	// hap_* namespace (experiments already pull in sim and solver).
+	_ "hap/internal/netgen"
 )
 
 func main() {
@@ -32,8 +37,18 @@ func main() {
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		timeout = flag.Duration("timeout", 0, "stop dispatching experiments after this wall-clock budget (0 = none; ctrl-c also cancels)")
+		metrics = flag.String("metrics", "", "serve live metrics on this address (e.g. :9090 or 127.0.0.1:0)")
 	)
 	flag.Parse()
+	if *metrics != "" {
+		srv, err := obs.Serve(*metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("metrics: http://%s/metrics\n", srv.Addr())
+	}
 
 	// Ctrl-c (and an optional -timeout) stop the batch between experiments;
 	// a cancelled run exits with the dedicated code.

@@ -24,6 +24,12 @@ import (
 	"hap/internal/core"
 	"hap/internal/haperr"
 	"hap/internal/netgen"
+	"hap/internal/obs"
+
+	// Register the sim and solver metric families so one scrape shows the
+	// full hap_* namespace, present-but-zero when unused.
+	_ "hap/internal/sim"
+	_ "hap/internal/solver"
 )
 
 func main() {
@@ -38,8 +44,17 @@ func main() {
 		seed     = flag.Int64("seed", 1, "schedule seed")
 		muMsg    = flag.Float64("mu3", 20, "message service rate (model metadata)")
 		timeout  = flag.Duration("timeout", 0, "abort sending/collecting after this wall-clock budget (0 = none; ctrl-c also cancels)")
+		metrics  = flag.String("metrics", "", "serve live metrics on this address (e.g. :9090 or 127.0.0.1:0)")
 	)
 	flag.Parse()
+	if *metrics != "" {
+		srv, err := obs.Serve(*metrics)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("metrics: http://%s/metrics\n", srv.Addr())
+	}
 
 	// Ctrl-c (and an optional -timeout) cancel the context driving the
 	// sender and the sink collector; a cancelled run exits with the
@@ -67,9 +82,10 @@ func main() {
 		s := makeSchedule(*source, *seconds, *seed, *muMsg)
 		fmt.Printf("schedule: %d packets over %g model s (rate %.4g/s); replay at %gx\n",
 			len(s.Arrivals), s.Horizon, s.MeanRate(), *compress)
+		idle := netgen.AdaptiveIdle(s, *compress)
 		done := make(chan netgen.SinkStats, 1)
 		go func() {
-			st, err := sink.Collect(ctx, len(s.Arrivals), 2*time.Second)
+			st, err := sink.Collect(ctx, len(s.Arrivals), idle)
 			if err != nil {
 				fatal(err)
 			}

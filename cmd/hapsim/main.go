@@ -18,9 +18,15 @@ import (
 
 	"hap/internal/core"
 	"hap/internal/haperr"
+	"hap/internal/obs"
 	"hap/internal/par"
 	"hap/internal/sim"
 	"hap/internal/trace"
+
+	// Register the solver and netgen metric families so one scrape of any
+	// binary shows the full hap_* namespace, present-but-zero when unused.
+	_ "hap/internal/netgen"
+	_ "hap/internal/solver"
 )
 
 func main() {
@@ -46,10 +52,20 @@ func main() {
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		timeout = flag.Duration("timeout", 0, "abort the simulation after this wall-clock budget (0 = none; ctrl-c also cancels)")
+		metrics = flag.String("metrics", "", "serve live metrics on this address (e.g. :9090 or 127.0.0.1:0)")
 	)
 	flag.Parse()
 	if *warmup == 0 {
 		*warmup = *horizon / 100
+	}
+	if *metrics != "" {
+		srv, err := obs.Serve(*metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("metrics: http://%s/metrics\n", srv.Addr())
 	}
 
 	// Ctrl-c (and an optional -timeout) cancel the context polled by every

@@ -18,8 +18,14 @@ import (
 
 	"hap/internal/core"
 	"hap/internal/haperr"
+	"hap/internal/obs"
 	"hap/internal/solver"
 	"hap/internal/trace"
+
+	// Register the sim and netgen metric families so one scrape shows the
+	// full hap_* namespace, present-but-zero when unused.
+	_ "hap/internal/netgen"
+	_ "hap/internal/sim"
 )
 
 func main() {
@@ -38,8 +44,18 @@ func main() {
 		maxZ    = flag.Int("maxqueue", 0, "queue truncation for Solution 0 (0 = auto)")
 		config  = flag.String("config", "", "JSON model file (overrides the symmetric flags; supports asymmetric models)")
 		timeout = flag.Duration("timeout", 0, "abort the solves after this wall-clock budget (0 = none; ctrl-c also cancels)")
+		metrics = flag.String("metrics", "", "serve live metrics on this address (e.g. :9090 or 127.0.0.1:0)")
 	)
 	flag.Parse()
+	if *metrics != "" {
+		srv, err := obs.Serve(*metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("metrics: http://%s/metrics\n", srv.Addr())
+	}
 
 	// Ctrl-c (and an optional -timeout) cancel the context threaded into
 	// every solve; a cancelled run exits with the dedicated code.

@@ -33,6 +33,7 @@ import (
 	"hap/internal/admission"
 	"hap/internal/core"
 	"hap/internal/haperr"
+	"hap/internal/obs"
 	"hap/internal/sim"
 	"hap/internal/solver"
 )
@@ -204,3 +205,19 @@ func RequiredBandwidth(m *Model, targetDelay float64) (float64, error) {
 func DelayQuantiles(m *Model, opts *SolveOptions, ps ...float64) ([]float64, error) {
 	return solver.DelayQuantiles(m, opts, ps...)
 }
+
+// Metrics returns a point-in-time snapshot of every runtime metric the
+// library publishes — event-loop throughput, solver iteration and outcome
+// counters, generator send/receive totals — as a flat map keyed by the
+// Prometheus series name (labelled series append their rendered label set).
+// The same data is served live by the cmd/ binaries' -metrics flag; this
+// accessor is for embedding callers that want to poll in-process instead.
+func Metrics() map[string]float64 { return obs.Default.Snapshot() }
+
+// MetricsServer is a live metrics HTTP server (see ServeMetrics).
+type MetricsServer = obs.Server
+
+// ServeMetrics serves the library's runtime metrics over HTTP on addr
+// (":0" picks a free port): Prometheus text on /metrics, JSON on
+// /debug/vars. Close the returned server when done.
+func ServeMetrics(addr string) (*MetricsServer, error) { return obs.Serve(addr) }

@@ -1,7 +1,10 @@
 package hap_test
 
 import (
+	"io"
 	"math"
+	"net/http"
+	"strings"
 	"testing"
 
 	"hap"
@@ -127,5 +130,41 @@ func TestFacadeDelayQuantiles(t *testing.T) {
 	// The p99 should dwarf the median under HAP burstiness.
 	if qs[2] < 3*qs[0] {
 		t.Errorf("p99 %v vs median %v — tail too thin for HAP", qs[2], qs[0])
+	}
+}
+
+func TestFacadeMetrics(t *testing.T) {
+	m := hap.PaperParams(20)
+	if _, err := hap.Solve2(m); err != nil {
+		t.Fatal(err)
+	}
+	hap.Simulate(m, hap.SimConfig{Horizon: 5000, Seed: 7})
+	snap := hap.Metrics()
+	for _, name := range []string{
+		"hap_sim_events_total",
+		"hap_sim_runs_total",
+		"hap_solver_iterations_total",
+	} {
+		if snap[name] <= 0 {
+			t.Errorf("%s = %v, want > 0 after a solve and a run", name, snap[name])
+		}
+	}
+
+	srv, err := hap.ServeMetrics("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "hap_sim_events_total") {
+		t.Errorf("/metrics page missing hap_sim_events_total:\n%.400s", body)
 	}
 }

@@ -15,12 +15,46 @@ package gm1
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 
 	"hap/internal/haperr"
+	"hap/internal/obs"
 	"hap/internal/quad"
 )
+
+// Runtime metrics: every σ solve records its iteration spend and outcome,
+// so a sweep's fixed-point cost is visible live (Solutions 1 and 2 funnel
+// through Solve).
+var (
+	obsSigmaIterations = obs.NewCounter("hap_gm1_sigma_iterations_total",
+		"Transform evaluations spent by the sigma solvers (probes, bisection and fixed-point steps).")
+	obsSolves = obs.NewCounterVec("hap_gm1_solves_total",
+		"G/M/1 sigma solves by method and outcome.", "method", "outcome")
+)
+
+// recordSolve classifies one finished σ solve for the labelled counter.
+func recordSolve(r Result, err error) {
+	outcome := "converged"
+	switch {
+	case err == nil:
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		outcome = "cancelled"
+	case errors.Is(err, ErrTrivialRoot):
+		outcome = "trivial_root"
+	case errors.Is(err, ErrUnstable):
+		outcome = "unstable"
+	case errors.Is(err, haperr.ErrNotConverged):
+		outcome = "not_converged"
+	case errors.Is(err, haperr.ErrBadParameter):
+		outcome = "bad_parameter"
+	default:
+		outcome = "error"
+	}
+	obsSolves.With(r.Method.String(), outcome).Inc()
+	obsSigmaIterations.Add(int64(r.Iterations))
+}
 
 // Laplace is the Laplace–Stieltjes transform A*(s) of an interarrival
 // distribution, defined for s >= 0 with A*(0) = 1.
@@ -121,6 +155,12 @@ func (m Method) String() string {
 // Solve computes the G/M/1 queue for interarrival transform a, arrival
 // rate lambda (for Little's result) and service rate mu.
 func Solve(a Laplace, lambda, mu float64, opts *Options) (Result, error) {
+	r, err := solve(a, lambda, mu, opts)
+	recordSolve(r, err)
+	return r, err
+}
+
+func solve(a Laplace, lambda, mu float64, opts *Options) (Result, error) {
 	// !(x > 0) instead of x <= 0 so NaN inputs are rejected too.
 	if !(lambda > 0) || !(mu > 0) || math.IsInf(lambda, 1) || math.IsInf(mu, 1) {
 		return Result{}, haperr.Badf("gm1: rates must be positive and finite (λ=%v, μ=%v)", lambda, mu)

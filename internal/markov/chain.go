@@ -16,6 +16,18 @@ import (
 	"math"
 
 	"hap/internal/haperr"
+	"hap/internal/obs"
+)
+
+// Runtime metrics: a sweep over a multi-million-state chain is the unit of
+// work the brute-force Solution 0 spends minutes in, so sweeps are counted
+// per convergence check (CheckEvery batches), not per state — the inner
+// loops stay untouched.
+var (
+	obsSweeps = obs.NewCounter("hap_markov_sweeps_total",
+		"Steady-state iteration sweeps (Gauss-Seidel and uniformised power iteration).")
+	obsSweepResidual = obs.NewFloatGauge("hap_markov_last_residual",
+		"Total-variation residual at the most recent convergence check.")
 )
 
 // Transition is one outgoing rate entry of a CTMC generator row.
@@ -164,6 +176,7 @@ func (c *Chain) SteadyState(opts *SteadyOptions) ([]float64, Stats, error) {
 	prevCheck := make([]float64, n)
 	copy(prevCheck, pi)
 	residual := math.Inf(1)
+	marked := 0
 	for it := 1; it <= o.MaxIter; it++ {
 		// next = pi * (I + Q/lam)
 		for i := range next {
@@ -182,6 +195,9 @@ func (c *Chain) SteadyState(opts *SteadyOptions) ([]float64, Stats, error) {
 		if it%o.CheckEvery == 0 {
 			normalise(pi)
 			residual = maxRelDiff(pi, prevCheck)
+			obsSweeps.Add(int64(it - marked))
+			marked = it
+			obsSweepResidual.Set(residual)
 			if residual < o.Tol {
 				return pi, Stats{Iterations: it, Residual: residual, Converged: true}, nil
 			}
@@ -192,10 +208,12 @@ func (c *Chain) SteadyState(opts *SteadyOptions) ([]float64, Stats, error) {
 		// sweeps between polls feel unresponsive.
 		if err := o.cancelled(); err != nil {
 			normalise(pi)
+			obsSweeps.Add(int64(it - marked))
 			return pi, Stats{Iterations: it, Residual: residual}, fmt.Errorf("markov: steady state: %w", err)
 		}
 	}
 	normalise(pi)
+	obsSweeps.Add(int64(o.MaxIter - marked))
 	return pi, Stats{Iterations: o.MaxIter, Residual: residual}, fmt.Errorf("markov: steady state: %w", ErrNotConverged)
 }
 
@@ -249,6 +267,8 @@ func (c *Chain) GaussSeidel(opts *SteadyOptions) ([]float64, Stats, error) {
 		}
 		normalise(pi)
 		residual = maxRelDiff(pi, prev)
+		obsSweeps.Inc()
+		obsSweepResidual.Set(residual)
 		if residual < o.Tol {
 			return pi, Stats{Iterations: it, Residual: residual, Converged: true}, nil
 		}

@@ -1,0 +1,25 @@
+package netgen
+
+import "hap/internal/obs"
+
+// Runtime metrics for the UDP generator: senders and sinks publish live
+// send/receive/loss counts so a long compressed replay can be watched from
+// the /metrics endpoint instead of waiting for the final report. Loss is
+// detected at the sink from sequence gaps, so "dropped" means "never seen
+// by any sink in this process".
+var (
+	obsPacketsSent = obs.NewCounter("hap_netgen_packets_sent_total",
+		"UDP datagrams written by senders.")
+	obsBytesSent = obs.NewCounter("hap_netgen_bytes_sent_total",
+		"UDP payload bytes written by senders.")
+	obsPacketsReceived = obs.NewCounter("hap_netgen_packets_received_total",
+		"Datagrams received and decoded by sinks.")
+	obsBytesReceived = obs.NewCounter("hap_netgen_bytes_received_total",
+		"Bytes received by sinks.")
+	obsPacketsDropped = obs.NewCounter("hap_netgen_packets_dropped_total",
+		"Packets inferred lost from sequence gaps at sinks.")
+	obsPacketsReordered = obs.NewCounter("hap_netgen_packets_reordered_total",
+		"Sequence regressions observed at sinks.")
+	obsMeanIA = obs.NewFloatGauge("hap_netgen_interarrival_mean_seconds",
+		"Observed mean interarrival time of the most recently finished collection.")
+)

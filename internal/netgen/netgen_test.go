@@ -108,17 +108,26 @@ func TestSendReceiveLoopback(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 
+	// The collector's completion deadline scales with the schedule's own
+	// burst structure instead of a fixed wall-clock constant, so a loaded
+	// host that stretches the replay stretches the deadline with it.
+	const compression = 100 // 5 model seconds into ~50 ms of wall time
+	idle := AdaptiveIdle(s, compression)
+	if idle < time.Second {
+		t.Fatalf("AdaptiveIdle = %v, want at least the 1 s floor", idle)
+	}
+	dropsBefore := obsPacketsDropped.Value()
+
 	done := make(chan SinkStats, 1)
 	go func() {
-		st, err := sink.Collect(ctx, len(s.Arrivals), 2*time.Second)
+		st, err := sink.Collect(ctx, len(s.Arrivals), idle)
 		if err != nil {
 			t.Errorf("collect: %v", err)
 		}
 		done <- st
 	}()
 
-	// Compress 5 model seconds into ~50 ms of wall time.
-	sendStats, err := Send(ctx, sink.Addr(), s, SenderConfig{Compression: 100, PayloadPad: 32})
+	sendStats, err := Send(ctx, sink.Addr(), s, SenderConfig{Compression: compression, PayloadPad: 32})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,15 +135,46 @@ func TestSendReceiveLoopback(t *testing.T) {
 	if sendStats.Sent != len(s.Arrivals) {
 		t.Errorf("sent %d of %d", sendStats.Sent, len(s.Arrivals))
 	}
-	// Loopback UDP may drop under burst; accept minor loss.
-	if st.Received < sendStats.Sent*9/10 {
-		t.Errorf("received %d of %d", st.Received, sendStats.Sent)
+	if drops := obsPacketsDropped.Value() - dropsBefore; drops > 0 {
+		t.Logf("loopback dropped %d packets (sequence gaps at the sink)", drops)
 	}
 	if st.BytesTotal < int64(st.Received*(HeaderSize+32)) {
 		t.Errorf("byte count %d too small", st.BytesTotal)
 	}
+	if testing.Short() {
+		// Received fraction and interarrival statistics depend on the host
+		// keeping pace with the compressed replay; don't judge them on a
+		// constrained -short run.
+		t.Skip("skipping wall-clock-sensitive delivery assertions in -short mode")
+	}
+	// Loopback UDP may drop under burst; accept minor loss.
+	if st.Received < sendStats.Sent*9/10 {
+		t.Errorf("received %d of %d", st.Received, sendStats.Sent)
+	}
 	if st.MeanIA <= 0 {
 		t.Error("no interarrival measured")
+	}
+}
+
+func TestAdaptiveIdle(t *testing.T) {
+	s, err := GeneratePoisson(200, 5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fast replays hit the one-second floor.
+	if got := AdaptiveIdle(s, 100); got < time.Second {
+		t.Errorf("AdaptiveIdle(compress=100) = %v, below the floor", got)
+	}
+	// Real-time replay of a sparse schedule scales past the floor: a lone
+	// packet at t=60 s gives a 60 s worst gap, so the idle window must
+	// comfortably exceed it.
+	sparse := &Schedule{Horizon: 60, Arrivals: []Arrival{{T: 60}}}
+	if got := AdaptiveIdle(sparse, 1); got <= 60*time.Second {
+		t.Errorf("AdaptiveIdle(sparse, real time) = %v, want > the 60 s gap", got)
+	}
+	// Non-positive compression means real time.
+	if got, want := AdaptiveIdle(sparse, 0), AdaptiveIdle(sparse, 1); got != want {
+		t.Errorf("AdaptiveIdle(compress=0) = %v, want %v", got, want)
 	}
 }
 

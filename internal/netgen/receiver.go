@@ -50,6 +50,30 @@ func (s *Sink) Addr() string { return s.conn.LocalAddr().String() }
 // Close releases the socket.
 func (s *Sink) Close() error { return s.conn.Close() }
 
+// AdaptiveIdle sizes a Collect idle timeout for a schedule replayed at the
+// given compression (<= 0 means real time): twenty times the longest
+// compressed inter-arrival gap plus half a second of jitter headroom,
+// floored at one second. Scaling from the schedule's own burst structure —
+// rather than a fixed wall-clock constant — means a loaded host stretches
+// the deadline with the traffic instead of cutting a slow replay short.
+func AdaptiveIdle(s *Schedule, compression float64) time.Duration {
+	if compression <= 0 {
+		compression = 1
+	}
+	var maxGap, prev float64
+	for _, a := range s.Arrivals {
+		if g := a.T - prev; g > maxGap {
+			maxGap = g
+		}
+		prev = a.T
+	}
+	idle := 20*time.Duration(maxGap/compression*float64(time.Second)) + 500*time.Millisecond
+	if idle < time.Second {
+		idle = time.Second
+	}
+	return idle
+}
+
 // Collect reads until expect packets arrived, the idle timeout passes with
 // nothing received, or ctx is cancelled. idle <= 0 defaults to one second.
 func (s *Sink) Collect(ctx context.Context, expect int, idle time.Duration) (SinkStats, error) {
@@ -91,15 +115,19 @@ func (s *Sink) Collect(ctx context.Context, expect int, idle time.Duration) (Sin
 		}
 		now := time.Now()
 		st.BytesTotal += int64(n)
+		obsBytesReceived.Add(int64(n))
 		if st.Received == 0 {
 			st.FirstSeq = pkt.Seq
 		} else {
 			iaWelford.Add(now.Sub(lastRecv).Seconds())
 			switch {
 			case pkt.Seq > lastSeq+1:
-				st.Lost += int(pkt.Seq - lastSeq - 1)
+				gap := int(pkt.Seq - lastSeq - 1)
+				st.Lost += gap
+				obsPacketsDropped.Add(int64(gap))
 			case pkt.Seq <= lastSeq && haveSeq:
 				st.Reordered++
+				obsPacketsReordered.Inc()
 			}
 		}
 		times = append(times, now.Sub(start).Seconds())
@@ -108,12 +136,14 @@ func (s *Sink) Collect(ctx context.Context, expect int, idle time.Duration) (Sin
 		haveSeq = true
 		st.LastSeq = pkt.Seq
 		st.Received++
+		obsPacketsReceived.Inc()
 		if ctx.Err() != nil {
 			break
 		}
 	}
 	st.Elapsed = time.Since(start)
 	st.MeanIA = iaWelford.Mean()
+	obsMeanIA.Set(st.MeanIA)
 	st.SCV = iaWelford.SCV()
 	if len(times) > 10 {
 		st.IDCWindow = (times[len(times)-1] - times[0]) / 20

@@ -70,6 +70,8 @@ func Send(ctx context.Context, addr string, s *Schedule, cfg SenderConfig) (Send
 		}
 		st.Sent++
 		st.Bytes += int64(n)
+		obsPacketsSent.Inc()
+		obsBytesSent.Add(int64(n))
 	}
 	st.Elapsed = time.Since(start)
 	return st, nil

@@ -1,0 +1,248 @@
+package obs
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a registry with one instrument of every kind and a
+// deterministic clock: each nowNs call advances exactly one second.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	var tick int64
+	r.nowNs = func() int64 { tick += 1e9; return tick }
+
+	r.Counter("test_events_total", "Events seen.").Add(42)
+	r.Gauge("test_queue_depth", "Messages in system.").Set(7)
+	r.FloatGauge("test_residual", "Last residual.").Set(0.5)
+	t := r.Timer("test_solve", "Solve wall time.")
+	t.Observe(1500 * time.Millisecond)
+	t.Observe(500 * time.Millisecond)
+	v := r.CounterVec("test_solves_total", "Solves by method.", "method", "outcome")
+	v.With("solution2", "converged").Inc()
+	v.With("solution0", "fallback").Add(2)
+	r.Rate("test_packets", "Packets.").Mark(10)
+	return r
+}
+
+func TestPrometheusGolden(t *testing.T) {
+	var b strings.Builder
+	if err := goldenRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "prometheus.golden")
+	if *update {
+		if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != string(want) {
+		t.Errorf("exposition mismatch\n--- got ---\n%s\n--- want ---\n%s", b.String(), want)
+	}
+}
+
+func TestJSONExposition(t *testing.T) {
+	var b strings.Builder
+	if err := goldenRegistry().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &m); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	if m["test_events_total"] != 42.0 {
+		t.Errorf("test_events_total = %v", m["test_events_total"])
+	}
+	if m[`test_solves_total{method="solution0",outcome="fallback"}`] != 2.0 {
+		t.Errorf("labelled series missing: %v", m)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	s := goldenRegistry().Snapshot()
+	if s["test_queue_depth"] != 7 {
+		t.Errorf("queue depth = %v", s["test_queue_depth"])
+	}
+	if s["test_solve_seconds_sum"] != 2 {
+		t.Errorf("timer sum = %v", s["test_solve_seconds_sum"])
+	}
+}
+
+// TestHotPathAllocs asserts the zero-allocation contract of every hot-path
+// operation; the event loop's 0 allocs/op depends on it.
+func TestHotPathAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	fg := r.FloatGauge("fg", "")
+	tm := r.Timer("t", "")
+	rt := r.Rate("r", "")
+	child := r.CounterVec("v_total", "", "k").With("x")
+	cases := []struct {
+		name string
+		f    func()
+	}{
+		{"Counter.Inc", func() { c.Inc() }},
+		{"Counter.Add", func() { c.Add(3) }},
+		{"Gauge.Set", func() { g.Set(9) }},
+		{"FloatGauge.Set", func() { fg.Set(1.25) }},
+		{"Timer.Observe", func() { tm.Observe(time.Microsecond) }},
+		{"Rate.Mark", func() { rt.Mark(5) }},
+		{"VecChild.Inc", func() { child.Inc() }},
+	}
+	for _, tc := range cases {
+		if n := testing.AllocsPerRun(1000, tc.f); n != 0 {
+			t.Errorf("%s allocates %.1f per op, want 0", tc.name, n)
+		}
+	}
+}
+
+// TestConcurrency hammers every instrument from many goroutines while a
+// scraper renders the registry; run under -race this validates the
+// lock-free hot paths.
+func TestConcurrency(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc_total", "")
+	g := r.Gauge("conc_gauge", "")
+	tm := r.Timer("conc_timer", "")
+	rt := r.Rate("conc_rate", "")
+	v := r.CounterVec("conc_vec_total", "", "worker")
+
+	const workers, perWorker = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			mine := v.With(fmt.Sprint(w % 3))
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Set(int64(i))
+				tm.Observe(time.Duration(i))
+				rt.Mark(1)
+				mine.Inc()
+				if i%100 == 0 {
+					// Vec lookup path under contention.
+					v.With(fmt.Sprint(w % 3)).Add(0)
+				}
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = r.WritePrometheus(io.Discard)
+				_ = r.Snapshot()
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+
+	if got := c.Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := tm.Count(); got != workers*perWorker {
+		t.Errorf("timer count = %d, want %d", got, workers*perWorker)
+	}
+	if got := rt.Value(); got != workers*perWorker {
+		t.Errorf("rate count = %d, want %d", got, workers*perWorker)
+	}
+	var vecTotal int64
+	for k, val := range r.Snapshot() {
+		if strings.HasPrefix(k, "conc_vec_total{") {
+			vecTotal += int64(val)
+		}
+	}
+	if vecTotal != workers*perWorker {
+		t.Errorf("vec total = %d, want %d", vecTotal, workers*perWorker)
+	}
+}
+
+func TestServeEndpoints(t *testing.T) {
+	r := goldenRegistry()
+	srv, err := r.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+	if body := get("/metrics"); !strings.Contains(body, "test_events_total 42") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+	var m map[string]any
+	if err := json.Unmarshal([]byte(get("/debug/vars")), &m); err != nil {
+		t.Errorf("/debug/vars is not JSON: %v", err)
+	}
+}
+
+func TestRateWindow(t *testing.T) {
+	var tick int64
+	rt := newRate(func() int64 { tick += 2e9; return tick })
+	rt.Mark(100)
+	if got := rt.PerSecond(); got != 50 {
+		t.Errorf("rate = %v, want 50 (100 events over a 2 s window)", got)
+	}
+	// Second window with no events is quiet.
+	if got := rt.PerSecond(); got != 0 {
+		t.Errorf("idle rate = %v, want 0", got)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("dup_total", "")
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("esc_total", "", "k")
+	v.With(`a"b\c` + "\n").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `esc_total{k="a\"b\\c\n"} 1`) {
+		t.Errorf("escaping wrong:\n%s", b.String())
+	}
+}

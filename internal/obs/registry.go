@@ -1,0 +1,319 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Registry holds metric families and renders them. Registration normally
+// happens once, from package-level var initialisers; exposition runs at
+// scrape time. Both take the registry lock — neither belongs on a hot path.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+	nowNs    func() int64
+}
+
+// family is one exposition unit: a metric name with HELP/TYPE metadata and
+// one or more (labels, value) series.
+type family struct {
+	name, help, typ string
+	collect         func(emit func(labels string, value float64))
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		families: make(map[string]*family),
+		nowNs:    func() int64 { return time.Now().UnixNano() },
+	}
+}
+
+// Default is the process-wide registry every package-level instrument
+// registers into; the HTTP endpoint and the facade snapshot read it.
+var Default = NewRegistry()
+
+// register adds a family or panics on programmer error (empty or duplicate
+// name). Registration is init-time wiring, not user input, so the panic
+// policy mirrors other construct-time invariants in this codebase.
+func (r *Registry) register(name, help, typ string, collect func(emit func(string, float64))) {
+	if name == "" {
+		panic("obs: empty metric name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.families[name]; dup {
+		panic("obs: duplicate metric " + name)
+	}
+	r.families[name] = &family{name: name, help: help, typ: typ, collect: collect}
+}
+
+// Counter registers and returns a new counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(name, help, "counter", func(emit func(string, float64)) {
+		emit("", float64(c.Value()))
+	})
+	return c
+}
+
+// Gauge registers and returns a new integer gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, "gauge", func(emit func(string, float64)) {
+		emit("", float64(g.Value()))
+	})
+	return g
+}
+
+// FloatGauge registers and returns a new float gauge.
+func (r *Registry) FloatGauge(name, help string) *FloatGauge {
+	g := &FloatGauge{}
+	r.register(name, help, "gauge", func(emit func(string, float64)) {
+		emit("", g.Value())
+	})
+	return g
+}
+
+// Timer registers and returns a new duration tracker, exposed as
+// <name>_count, <name>_seconds_sum and <name>_seconds_max.
+func (r *Registry) Timer(name, help string) *Timer {
+	t := &Timer{}
+	r.register(name+"_count", help+" (observation count)", "counter", func(emit func(string, float64)) {
+		emit("", float64(t.Count()))
+	})
+	r.register(name+"_seconds_sum", help+" (total seconds)", "counter", func(emit func(string, float64)) {
+		emit("", t.SumSeconds())
+	})
+	r.register(name+"_seconds_max", help+" (largest single observation, seconds)", "gauge", func(emit func(string, float64)) {
+		emit("", t.MaxSeconds())
+	})
+	return t
+}
+
+// Rate registers and returns a new rate tracker, exposed as <name>_total
+// (cumulative count) and <name>_per_second (rate over the interval since
+// the previous scrape). Pass the stem without a suffix.
+func (r *Registry) Rate(name, help string) *Rate {
+	rt := newRate(r.nowNs)
+	r.register(name+"_total", help, "counter", func(emit func(string, float64)) {
+		emit("", float64(rt.Value()))
+	})
+	r.register(name+"_per_second", help+" (scrape-to-scrape rate)", "gauge", func(emit func(string, float64)) {
+		emit("", rt.PerSecond())
+	})
+	return rt
+}
+
+// CounterVec is a family of counters distinguished by label values
+// (e.g. solver outcomes by method). Looking a child up takes a read lock
+// and builds the label key, so grab children once where rates matter; the
+// returned *Counter itself is hot-path safe.
+type CounterVec struct {
+	labelNames []string
+	mu         sync.RWMutex
+	children   map[string]*Counter
+}
+
+// CounterVec registers and returns a new labelled counter family.
+func (r *Registry) CounterVec(name, help string, labelNames ...string) *CounterVec {
+	if len(labelNames) == 0 {
+		panic("obs: CounterVec needs at least one label")
+	}
+	v := &CounterVec{labelNames: labelNames, children: make(map[string]*Counter)}
+	r.register(name, help, "counter", func(emit func(string, float64)) {
+		v.mu.RLock()
+		keys := make([]string, 0, len(v.children))
+		for k := range v.children {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			emit(k, float64(v.children[k].Value()))
+		}
+		v.mu.RUnlock()
+	})
+	return v
+}
+
+// With returns the child counter for the given label values (one per label
+// name, in order), creating it on first use.
+func (v *CounterVec) With(values ...string) *Counter {
+	if len(values) != len(v.labelNames) {
+		panic(fmt.Sprintf("obs: CounterVec got %d label values, want %d", len(values), len(v.labelNames)))
+	}
+	key := renderLabels(v.labelNames, values)
+	v.mu.RLock()
+	c, ok := v.children[key]
+	v.mu.RUnlock()
+	if ok {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok := v.children[key]; ok {
+		return c
+	}
+	c = &Counter{}
+	v.children[key] = c
+	return c
+}
+
+// renderLabels builds the Prometheus label body `a="x",b="y"` with value
+// escaping per the text exposition format.
+func renderLabels(names, values []string) string {
+	var b strings.Builder
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, c := range s {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// sortedFamilies snapshots the family list in name order.
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+// formatValue renders a sample value in Prometheus text conventions.
+func formatValue(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered family in the Prometheus text
+// exposition format, sorted by metric name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	for _, f := range r.sortedFamilies() {
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		f.collect(func(labels string, v float64) {
+			if labels == "" {
+				fmt.Fprintf(&b, "%s %s\n", f.name, formatValue(v))
+			} else {
+				fmt.Fprintf(&b, "%s{%s} %s\n", f.name, labels, formatValue(v))
+			}
+		})
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteJSON renders a flat JSON object mapping "name" or "name{labels}" to
+// the sample value, sorted by key — the /debug/vars document.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("{")
+	first := true
+	for _, f := range r.sortedFamilies() {
+		f.collect(func(labels string, v float64) {
+			if !first {
+				b.WriteString(",\n ")
+			} else {
+				b.WriteString("\n ")
+			}
+			first = false
+			key := f.name
+			if labels != "" {
+				key += "{" + labels + "}"
+			}
+			b.WriteString(strconv.Quote(key))
+			b.WriteString(": ")
+			// JSON has no NaN/Inf; encode them as strings.
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				b.WriteString(strconv.Quote(formatValue(v)))
+			} else {
+				b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+			}
+		})
+	}
+	b.WriteString("\n}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Snapshot returns a point-in-time copy of every sample, keyed like
+// WriteJSON ("name" or "name{labels}").
+func (r *Registry) Snapshot() map[string]float64 {
+	out := make(map[string]float64)
+	for _, f := range r.sortedFamilies() {
+		f.collect(func(labels string, v float64) {
+			key := f.name
+			if labels != "" {
+				key += "{" + labels + "}"
+			}
+			out[key] = v
+		})
+	}
+	return out
+}
+
+// Package-level constructors against the Default registry — what domain
+// packages use for their package-level instruments.
+
+// NewCounter registers a counter with the Default registry.
+func NewCounter(name, help string) *Counter { return Default.Counter(name, help) }
+
+// NewGauge registers an integer gauge with the Default registry.
+func NewGauge(name, help string) *Gauge { return Default.Gauge(name, help) }
+
+// NewFloatGauge registers a float gauge with the Default registry.
+func NewFloatGauge(name, help string) *FloatGauge { return Default.FloatGauge(name, help) }
+
+// NewTimer registers a duration tracker with the Default registry.
+func NewTimer(name, help string) *Timer { return Default.Timer(name, help) }
+
+// NewRate registers a rate tracker with the Default registry.
+func NewRate(name, help string) *Rate { return Default.Rate(name, help) }
+
+// NewCounterVec registers a labelled counter family with the Default
+// registry.
+func NewCounterVec(name, help string, labelNames ...string) *CounterVec {
+	return Default.CounterVec(name, help, labelNames...)
+}

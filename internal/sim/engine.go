@@ -211,6 +211,13 @@ type Engine struct {
 	processed  int64
 	truncated  bool
 
+	// Watermarks for the batched metrics flush (see flushObs): the deltas
+	// since the last flush go to the package counters, so the per-event
+	// loop never touches an atomic.
+	obsFlushed    int64
+	obsArrFlushed int64
+	obsDepFlushed int64
+
 	// ctx, when set, is polled every ctxPollMask+1 events; a cancelled
 	// context stops the run early with err recording the cause.
 	ctx context.Context
@@ -384,11 +391,14 @@ func (e *Engine) Run() {
 			e.truncated = true
 			break
 		}
-		if e.ctx != nil && e.processed&ctxPollMask == 0 {
-			if err := e.ctx.Err(); err != nil {
-				e.err = err
-				e.truncated = true
-				break
+		if e.processed&ctxPollMask == 0 {
+			e.flushObs()
+			if e.ctx != nil {
+				if err := e.ctx.Err(); err != nil {
+					e.err = err
+					e.truncated = true
+					break
+				}
 			}
 		}
 		ev := e.events.pop()
@@ -405,6 +415,11 @@ func (e *Engine) Run() {
 		end = e.horizon
 	}
 	e.meas.finish(end, e.QueueLen())
+	e.flushObs()
+	obsRuns.Inc()
+	if e.truncated {
+		obsTruncations.Inc()
+	}
 }
 
 // SetMaxEvents bounds the number of processed events (safety valve for

@@ -60,6 +60,7 @@ func MergeRuns(runs []*RunResult) *ReplicatedResult {
 			agg.Merged = NewMeasurements(r.Meas.cfg)
 		}
 		agg.Merged.Merge(r.Meas)
+		obsMerges.Inc()
 		agg.Delay.Add(r.Meas.MeanDelay())
 		agg.Arrivals += r.Arrivals
 		agg.Departures += r.Departures
@@ -92,7 +93,14 @@ func ReplicateRuns(n int, seedBase int64, workers int, run func(rep int, seed in
 // cancels.
 func ReplicateRunsContext(ctx context.Context, n int, seedBase int64, workers int, run func(rep int, seed int64) *RunResult) (*ReplicatedResult, error) {
 	start := time.Now()
-	agg := MergeRuns(par.ReplicateNCtx(ctx, n, seedBase, workers, run))
+	// Count each replication as it completes so a live scrape shows fan-out
+	// progress, not just the final merge.
+	counted := func(rep int, seed int64) *RunResult {
+		r := run(rep, seed)
+		obsReplications.Inc()
+		return r
+	}
+	agg := MergeRuns(par.ReplicateNCtx(ctx, n, seedBase, workers, counted))
 	agg.Elapsed = time.Since(start)
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {

@@ -1,0 +1,62 @@
+package solver
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"hap/internal/haperr"
+	"hap/internal/obs"
+)
+
+// Runtime metrics for the analytic layer. Solves are coarse-grained
+// (milliseconds to minutes), so per-solve recording — one labelled counter
+// bump, an iteration-count add and a timer observation — is free relative
+// to the work it measures.
+var (
+	obsIterations = obs.NewCounter("hap_solver_iterations_total",
+		"Inner iterations accumulated across solves: Gauss-Seidel sweeps for Solution 0, sigma fixed-point or bisection steps for Solutions 1 and 2.")
+	obsStates = obs.NewGauge("hap_solver_last_states",
+		"Chain states of the most recent solve (0 for closed-form Solution 2).")
+	obsResidual = obs.NewFloatGauge("hap_solver_last_residual",
+		"Final convergence residual of the most recent solve.")
+	obsSolves = obs.NewCounterVec("hap_solver_solves_total",
+		"Solves by method and outcome (converged, fallback, not_converged, unstable, bad_parameter, cancelled, error).",
+		"method", "outcome")
+	obsSolveTime = obs.NewTimer("hap_solver_solve",
+		"Solve wall time.")
+)
+
+// solveOutcome classifies a finished solve for the labelled counter.
+func solveOutcome(r Result, err error) string {
+	switch {
+	case err == nil && r.Degraded:
+		return "fallback"
+	case err == nil:
+		return "converged"
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return "cancelled"
+	case errors.Is(err, haperr.ErrUnstable):
+		return "unstable"
+	case errors.Is(err, haperr.ErrNotConverged):
+		return "not_converged"
+	case errors.Is(err, haperr.ErrBadParameter):
+		return "bad_parameter"
+	default:
+		return "error"
+	}
+}
+
+// recordSolve publishes one finished solve. method names the entry point;
+// the result's own Method (which may differ after a fallback) wins when
+// set.
+func recordSolve(method string, start time.Time, r Result, err error) {
+	if r.Method != "" {
+		method = r.Method
+	}
+	obsSolves.With(method, solveOutcome(r, err)).Inc()
+	obsIterations.Add(int64(r.Iterations))
+	obsStates.Set(int64(r.States))
+	obsResidual.Set(r.Residual)
+	obsSolveTime.Observe(time.Since(start))
+}

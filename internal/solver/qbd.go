@@ -400,6 +400,12 @@ func SolveMMPPQueue(proc *mmpp.MMPP, muMsg float64, opts *Options) (Result, erro
 }
 
 func solveQBDResult(proc *mmpp.MMPP, muMsg float64, opts *Options, start time.Time, method string) (Result, error) {
+	r, err := solveQBD(proc, muMsg, opts, start, method)
+	recordSolve(method, start, r, err)
+	return r, err
+}
+
+func solveQBD(proc *mmpp.MMPP, muMsg float64, opts *Options, start time.Time, method string) (Result, error) {
 	qb, err := SolveQBD(proc, muMsg, RMethodLogReduction, opts.Tol)
 	if err != nil {
 		return Result{}, err

@@ -23,6 +23,13 @@ import (
 // Solution 1, which cuts the sweep count by orders of magnitude.
 func Solution0(m *core.Model, opts *Options) (Result, error) {
 	start := time.Now()
+	r, err := solution0(m, opts)
+	recordSolve("solution0", start, r, err)
+	return r, err
+}
+
+func solution0(m *core.Model, opts *Options) (Result, error) {
+	start := time.Now()
 	if opts == nil {
 		opts = &Options{}
 	}
@@ -95,7 +102,7 @@ func Solution0(m *core.Model, opts *Options) (Result, error) {
 			// flag it, so long sweeps near ρ→1 yield a usable answer
 			// instead of an error (the paper's own two-week runs were
 			// budget bound too). The fallback keeps its own diagnostics.
-			if fb, fbErr := Solution2(m, opts); fbErr == nil {
+			if fb, fbErr := solution2(m, opts); fbErr == nil {
 				fb.Method = "solution0-fallback-solution2"
 				fb.Degraded = true
 				fb.Elapsed = time.Since(start)
@@ -149,7 +156,7 @@ func warmStart(m *core.Model, lat *markov.Lattice, maxU, maxA int, muMsg float64
 	if err != nil {
 		return nil, err
 	}
-	s1, err := Solution1(m, &Options{MaxUsers: maxU, MaxApps: maxA, Tol: 1e-8, Ctx: opts.Ctx})
+	s1, err := solution1(m, &Options{MaxUsers: maxU, MaxApps: maxA, Tol: 1e-8, Ctx: opts.Ctx})
 	if err != nil {
 		return nil, err
 	}
@@ -183,6 +190,13 @@ func warmStart(m *core.Model, lat *markov.Lattice, maxU, maxA int, muMsg float64
 // space explodes with l; this is intended for small validation models, as
 // in the paper's own framing.
 func Solution0General(m *core.Model, maxUsers int, maxAppsPerType []int, maxQueue int, opts *Options) (Result, error) {
+	start := time.Now()
+	r, err := solution0General(m, maxUsers, maxAppsPerType, maxQueue, opts)
+	recordSolve("solution0-general", start, r, err)
+	return r, err
+}
+
+func solution0General(m *core.Model, maxUsers int, maxAppsPerType []int, maxQueue int, opts *Options) (Result, error) {
 	start := time.Now()
 	if opts == nil {
 		opts = &Options{}

@@ -142,6 +142,15 @@ func (o *Options) maxQueue(meanRate, muMsg float64) int {
 // fastest solution ("5 to 7 minutes" in the paper, microseconds here).
 func Solution2(m *core.Model, opts *Options) (Result, error) {
 	start := time.Now()
+	r, err := solution2(m, opts)
+	recordSolve("solution2", start, r, err)
+	return r, err
+}
+
+// solution2 is the uninstrumented core, also used as the Solution 0
+// fallback so internal reuse does not inflate the solve counters.
+func solution2(m *core.Model, opts *Options) (Result, error) {
+	start := time.Now()
 	if opts == nil {
 		opts = &Options{}
 	}
@@ -176,6 +185,13 @@ func Solution2(m *core.Model, opts *Options) (Result, error) {
 // capped (Figure 20's admission-control variant): the mixture over
 // truncated-Poisson populations has an exact Laplace transform.
 func Solution2Bounded(m *core.Model, maxUsers, maxApps int, opts *Options) (Result, error) {
+	start := time.Now()
+	r, err := solution2Bounded(m, maxUsers, maxApps, opts)
+	recordSolve("solution2-bounded", start, r, err)
+	return r, err
+}
+
+func solution2Bounded(m *core.Model, maxUsers, maxApps int, opts *Options) (Result, error) {
 	start := time.Now()
 	if opts == nil {
 		opts = &Options{}
@@ -215,6 +231,15 @@ func Solution2Bounded(m *core.Model, maxUsers, maxApps int, opts *Options) (Resu
 // the σ fixed point. Symmetric models use the 2-dimensional chain; general
 // models the full per-type lattice (keep the bounds small there).
 func Solution1(m *core.Model, opts *Options) (Result, error) {
+	start := time.Now()
+	r, err := solution1(m, opts)
+	recordSolve("solution1", start, r, err)
+	return r, err
+}
+
+// solution1 is the uninstrumented core, also used by the Solution 0 warm
+// start so internal reuse does not inflate the solve counters.
+func solution1(m *core.Model, opts *Options) (Result, error) {
 	start := time.Now()
 	if opts == nil {
 		opts = &Options{}
@@ -292,6 +317,13 @@ func perTypeBound(m *core.Model, i, capBound int) int {
 // Poisson returns the M/M/1 baseline at the model's mean rate — the
 // comparison the paper draws in every delay figure.
 func Poisson(m *core.Model) (Result, error) {
+	start := time.Now()
+	r, err := poisson(m)
+	recordSolve("poisson", start, r, err)
+	return r, err
+}
+
+func poisson(m *core.Model) (Result, error) {
 	if err := m.Validate(); err != nil {
 		return Result{}, err
 	}

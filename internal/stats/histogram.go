@@ -16,7 +16,8 @@ type Histogram struct {
 	bins   []int64
 	under  int64
 	over   int64
-	n      int64
+	nan    int64
+	n      int64 // non-NaN observations (±Inf count as under/over)
 	sum    float64
 }
 
@@ -28,8 +29,17 @@ func NewHistogram(lo, hi float64, nbins int) *Histogram {
 	return &Histogram{Lo: lo, Hi: hi, bins: make([]int64, nbins)}
 }
 
-// Add records one observation.
+// Add records one observation. NaN inputs fail both range guards and
+// int(NaN) converts to MinInt, so they are counted into a dedicated NaN
+// bucket instead of ever reaching the bin index — the simulator's deltas
+// feed histograms directly, and the no-panic contract covers them. ±Inf
+// land in the under/over counters like any other out-of-range value; they
+// do poison the running sum, so Mean reports ±Inf honestly after one.
 func (h *Histogram) Add(x float64) {
+	if math.IsNaN(x) {
+		h.nan++
+		return
+	}
 	h.n++
 	h.sum += x
 	switch {
@@ -46,8 +56,13 @@ func (h *Histogram) Add(x float64) {
 	}
 }
 
-// N returns the total observation count (including out-of-range).
-func (h *Histogram) N() int64 { return h.n }
+// N returns the total observation count, including out-of-range and NaN
+// observations. NaNs carry no position, so density, CDF and quantile
+// estimates are taken over the non-NaN mass only.
+func (h *Histogram) N() int64 { return h.n + h.nan }
+
+// NaN returns the number of NaN observations recorded.
+func (h *Histogram) NaN() int64 { return h.nan }
 
 // Merge folds another histogram with identical bounds and bin count into h
 // (bin-wise count addition). It panics on mismatched geometry.
@@ -61,11 +76,12 @@ func (h *Histogram) Merge(o *Histogram) {
 	}
 	h.under += o.under
 	h.over += o.over
+	h.nan += o.nan
 	h.n += o.n
 	h.sum += o.sum
 }
 
-// Mean returns the exact sample mean of all observations.
+// Mean returns the exact sample mean of all non-NaN observations.
 func (h *Histogram) Mean() float64 {
 	if h.n == 0 {
 		return 0
@@ -109,10 +125,27 @@ func (h *Histogram) CDFAt(i int) float64 {
 }
 
 // Quantile returns an approximate p-quantile by linear interpolation within
-// the containing bin. Out-of-range mass maps to the histogram bounds.
+// the containing bin. p is clamped to [0, 1] (NaN clamps to 0), so callers
+// feeding computed probabilities always get a value inside [Lo, Hi] and
+// never a silent extrapolation.
+//
+// Convention: the result is the leftmost point whose cumulative mass
+// reaches p·n, over the non-NaN observations. Under-range mass maps to Lo
+// (so p = 0, or any p covered by the `under` counter — e.g. all mass below
+// Lo — returns Lo); when p·n lands exactly on a bin boundary the earlier
+// bin wins and its right edge is returned, so runs of empty bins after the
+// boundary are not skipped into. p = 1 returns the right edge of the last
+// occupied bin, or Hi when over-range mass exists. An empty histogram
+// returns 0.
 func (h *Histogram) Quantile(p float64) float64 {
 	if h.n == 0 {
 		return 0
+	}
+	if !(p > 0) { // also catches NaN
+		p = 0
+	}
+	if p > 1 {
+		p = 1
 	}
 	target := p * float64(h.n)
 	c := float64(h.under)
@@ -139,7 +172,7 @@ func (h *Histogram) String() string {
 			maxC = c
 		}
 	}
-	fmt.Fprintf(&b, "hist n=%d under=%d over=%d\n", h.n, h.under, h.over)
+	fmt.Fprintf(&b, "hist n=%d under=%d over=%d nan=%d\n", h.N(), h.under, h.over, h.nan)
 	for i, c := range h.bins {
 		bar := strings.Repeat("#", int(40*c/maxC))
 		fmt.Fprintf(&b, "%10.4g %8d %s\n", h.Center(i), c, bar)

@@ -1,0 +1,178 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Regression: Add(NaN) used to panic with index out of range
+// [-9223372036854775808] — NaN fails both range guards and int(NaN)
+// converts to MinInt. It must land in the dedicated NaN bucket instead.
+func TestHistogramAddNaN(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	h.Add(math.NaN()) // must not panic
+	h.Add(5)
+	h.Add(math.NaN())
+	if got := h.NaN(); got != 2 {
+		t.Errorf("NaN() = %d, want 2", got)
+	}
+	if got := h.N(); got != 3 {
+		t.Errorf("N() = %d, want 3 (NaN observations are counted)", got)
+	}
+	if got := h.Mean(); got != 5 {
+		t.Errorf("Mean() = %v, want 5 (NaN excluded from the sum)", got)
+	}
+	if got := h.Quantile(0.5); got < 5 || got > 6 {
+		t.Errorf("Quantile(0.5) = %v, want within the occupied bin", got)
+	}
+	if s := h.String(); !strings.Contains(s, "nan=2") {
+		t.Errorf("String() does not report the NaN count:\n%s", s)
+	}
+}
+
+func TestHistogramAddInf(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	h.Add(math.Inf(-1))
+	h.Add(math.Inf(1))
+	h.Add(0.5)
+	if h.under != 1 || h.over != 1 {
+		t.Errorf("under=%d over=%d, want 1 and 1", h.under, h.over)
+	}
+	if !math.IsNaN(h.Mean()) {
+		// -Inf + Inf + 0.5 is NaN; the point is no panic and honest output.
+		t.Logf("Mean with mixed infinities = %v", h.Mean())
+	}
+}
+
+func TestHistogramMergeNaN(t *testing.T) {
+	a := NewHistogram(0, 1, 4)
+	b := NewHistogram(0, 1, 4)
+	a.Add(math.NaN())
+	b.Add(math.NaN())
+	b.Add(0.5)
+	a.Merge(b)
+	if a.NaN() != 2 || a.N() != 3 {
+		t.Errorf("after merge NaN=%d N=%d, want 2 and 3", a.NaN(), a.N())
+	}
+}
+
+func TestHistogramQuantileClamp(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i % 10))
+	}
+	lo, hi := h.Quantile(0), h.Quantile(1)
+	if got := h.Quantile(-3); got != lo {
+		t.Errorf("Quantile(-3) = %v, want clamp to Quantile(0) = %v", got, lo)
+	}
+	if got := h.Quantile(7); got != hi {
+		t.Errorf("Quantile(7) = %v, want clamp to Quantile(1) = %v", got, hi)
+	}
+	if got := h.Quantile(math.NaN()); got != lo {
+		t.Errorf("Quantile(NaN) = %v, want clamp to Quantile(0) = %v", got, lo)
+	}
+}
+
+func TestHistogramQuantileBoundaries(t *testing.T) {
+	// All mass in `under`: every quantile maps to Lo.
+	h := NewHistogram(0, 1, 4)
+	for i := 0; i < 5; i++ {
+		h.Add(-1)
+	}
+	for _, p := range []float64{0, 0.5, 1} {
+		if got := h.Quantile(p); got != 0 {
+			t.Errorf("all-under Quantile(%v) = %v, want Lo=0", p, got)
+		}
+	}
+
+	// Exact cumulative boundary with trailing empty bins: [5,0,0,5] over
+	// [0,4). p=0.5 lands exactly on bin 0's boundary — the earlier bin wins
+	// and its right edge is returned, not a point inside the empty run.
+	h2 := NewHistogram(0, 4, 4)
+	for i := 0; i < 5; i++ {
+		h2.Add(0.5)
+		h2.Add(3.5)
+	}
+	if got := h2.Quantile(0.5); got != 1 {
+		t.Errorf("boundary Quantile(0.5) = %v, want right edge 1 of bin 0", got)
+	}
+	if got := h2.Quantile(1); got != 4 {
+		t.Errorf("Quantile(1) = %v, want right edge 4 of the last occupied bin", got)
+	}
+
+	// p=0 with no under-mass still returns Lo.
+	if got := h2.Quantile(0); got != 0 {
+		t.Errorf("Quantile(0) = %v, want Lo=0", got)
+	}
+
+	// Over-mass pushes p=1 to Hi.
+	h2.Add(99)
+	if got := h2.Quantile(1); got != 4 {
+		t.Errorf("Quantile(1) with over-mass = %v, want Hi=4", got)
+	}
+}
+
+// TestQuickHistogramNoPanic drives Add and Quantile with arbitrary float64
+// bit patterns — NaN payloads, ±Inf, subnormals, boundary values — and
+// asserts the no-panic contract plus the count and range invariants.
+func TestQuickHistogramNoPanic(t *testing.T) {
+	f := func(bits []uint64, pBits uint64) bool {
+		h := NewHistogram(0, 10, 8)
+		var want int64
+		for _, b := range bits {
+			h.Add(math.Float64frombits(b))
+			want++
+		}
+		// Deterministic adversarial suffix on top of the random prefix.
+		for _, x := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), 0, 10, math.Nextafter(10, 0), -math.SmallestNonzeroFloat64} {
+			h.Add(x)
+			want++
+		}
+		if h.N() != want {
+			return false
+		}
+		q := h.Quantile(math.Float64frombits(pBits))
+		return q >= h.Lo && q <= h.Hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// FuzzHistogramAdd is the fuzz-shaped version of the same contract; the
+// seed corpus pins the historical panic input (NaN) and the edges.
+func FuzzHistogramAdd(f *testing.F) {
+	f.Add(math.Float64bits(math.NaN()), math.Float64bits(0.5))
+	f.Add(math.Float64bits(math.Inf(1)), math.Float64bits(1.0))
+	f.Add(math.Float64bits(math.Inf(-1)), math.Float64bits(-1.0))
+	f.Add(math.Float64bits(10.0), math.Float64bits(2.0))
+	f.Add(math.Float64bits(0.0), math.Float64bits(math.NaN()))
+	f.Fuzz(func(t *testing.T, xBits, pBits uint64) {
+		h := NewHistogram(0, 10, 8)
+		x := math.Float64frombits(xBits)
+		h.Add(x) // must never panic
+		if h.N() != 1 {
+			t.Errorf("N() = %d after one Add(%v)", h.N(), x)
+		}
+		q := h.Quantile(math.Float64frombits(pBits))
+		if h.NaN() == 0 && (q < h.Lo || q > h.Hi) {
+			t.Errorf("Quantile out of range: %v", q)
+		}
+	})
+}
+
+// The NaN contract extends across internal/stats: Welford ingestion of
+// special values must not panic either (it degrades to NaN moments).
+func TestWelfordSpecialsNoPanic(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), 0} {
+		w.Add(x)
+	}
+	if w.N() != 4 {
+		t.Errorf("N = %d, want 4", w.N())
+	}
+	_ = w.Mean()
+	_ = w.Std()
+}

@@ -1,0 +1,140 @@
+// Command metricsmoke is the `make metrics-smoke` gate: it builds
+// cmd/hapsim, starts it with -metrics on an ephemeral port and a workload
+// long enough to outlive one scrape, reads the announced address from
+// stdout, scrapes /metrics and /debug/vars once, and asserts the required
+// metric families are present in a non-empty exposition.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// required are the families the observability contract promises on the
+// hapsim exposition page (sim counters live, solver/netgen registered via
+// the binary's blank imports).
+var required = []string{
+	"hap_sim_events_total",
+	"hap_sim_queue_depth",
+	"hap_solver_iterations_total",
+	"hap_netgen_packets_sent_total",
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "metrics-smoke:", err)
+		os.Exit(1)
+	}
+	fmt.Println("metrics-smoke: ok")
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "metricsmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	bin := filepath.Join(dir, "hapsim")
+
+	build := exec.Command("go", "build", "-o", bin, "./cmd/hapsim")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("build hapsim: %w", err)
+	}
+
+	// A multi-replication run on one worker keeps the process alive for
+	// several wall-clock seconds — plenty for one scrape.
+	cmd := exec.Command(bin,
+		"-metrics", "127.0.0.1:0",
+		"-horizon", "2e6", "-reps", "8", "-parallel", "1")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+
+	addr, err := awaitAddr(stdout)
+	if err != nil {
+		return err
+	}
+
+	page, err := scrape("http://" + addr + "/metrics")
+	if err != nil {
+		return err
+	}
+	if strings.TrimSpace(page) == "" {
+		return fmt.Errorf("empty /metrics exposition")
+	}
+	var missing []string
+	for _, name := range required {
+		if !strings.Contains(page, name) {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("exposition missing %v\n--- page ---\n%s", missing, page)
+	}
+
+	vars, err := scrape("http://" + addr + "/debug/vars")
+	if err != nil {
+		return err
+	}
+	if !strings.HasPrefix(strings.TrimSpace(vars), "{") {
+		return fmt.Errorf("/debug/vars is not JSON: %.120s", vars)
+	}
+	return nil
+}
+
+// awaitAddr reads the child's stdout until the "metrics: http://ADDR/metrics"
+// announcement (keeps draining the pipe afterwards so the child never
+// blocks on a full pipe).
+func awaitAddr(r io.Reader) (string, error) {
+	sc := bufio.NewScanner(r)
+	addrCh := make(chan string, 1)
+	go func() {
+		defer close(addrCh)
+		for sc.Scan() {
+			line := sc.Text()
+			if rest, ok := strings.CutPrefix(line, "metrics: http://"); ok {
+				addrCh <- strings.TrimSuffix(rest, "/metrics")
+			}
+		}
+	}()
+	select {
+	case addr, ok := <-addrCh:
+		if !ok || addr == "" {
+			return "", fmt.Errorf("hapsim exited without announcing a metrics address")
+		}
+		return addr, nil
+	case <-time.After(30 * time.Second):
+		return "", fmt.Errorf("timed out waiting for the metrics address announcement")
+	}
+}
+
+func scrape(url string) (string, error) {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	return string(body), err
+}
