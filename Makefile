@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test ci fmt vet race race-all bench-smoke bench baseline metrics-smoke
+.PHONY: all build test ci fmt vet race race-all bench-smoke bench bench-pr5 bench-gate baseline metrics-smoke fit-smoke
 
 all: build test
 
@@ -11,8 +11,9 @@ test:
 	$(GO) test ./...
 
 # ci is the merge gate: formatting, vet, the race detector over the
-# concurrency-bearing packages, and a one-iteration benchmark smoke test.
-ci: fmt vet race bench-smoke
+# concurrency-bearing packages, a one-iteration benchmark smoke test, and
+# the generate→fit pipeline smoke.
+ci: fmt vet race bench-smoke fit-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -38,11 +39,25 @@ race-all:
 metrics-smoke:
 	$(GO) run ./scripts/metricsmoke
 
+# fit-smoke runs the generate→fit pipeline end to end: hapgen exports a
+# ~10k-arrival Poisson trace, hapfit fits it, and the gate asserts the
+# selector names "poisson" at the generator's rate.
+fit-smoke:
+	$(GO) run ./scripts/fitsmoke
+
 bench-smoke:
 	$(GO) test -bench=SimulatorHAP -benchtime=1x -run '^$$' .
 
-bench:
-	$(GO) test -bench . -benchmem -run '^$$' .
+# bench captures a fresh full benchmark sweep as BENCH_pr5.json (same
+# go-test-json schema as BENCH_baseline.json) and gates the event loop's
+# allocs/op against the committed baseline.
+bench: bench-pr5 bench-gate
+
+bench-pr5:
+	$(GO) test -bench . -benchtime=1x -run '^$$' -json . > BENCH_pr5.json
+
+bench-gate:
+	$(GO) run ./scripts/benchgate -baseline BENCH_baseline.json -current BENCH_pr5.json
 
 # baseline regenerates BENCH_baseline.json (one iteration per benchmark —
 # a reference shape, not a statistically stable measurement).

@@ -1,0 +1,222 @@
+// Command hapfit estimates arrival-process models from a packet trace and
+// reports which model class the trace supports.
+//
+// Fit a CSV trace (first column = arrival timestamps in seconds; hapgen
+// -mode trace writes this format):
+//
+//	go run ./cmd/hapfit -in trace.csv
+//
+// Fit live traffic (pairs with a hapgen sender):
+//
+//	go run ./cmd/hapfit -listen 127.0.0.1:9999 -expect 10000
+//
+// Restrict the candidate set, declare the HAP tree shape, emit JSON:
+//
+//	go run ./cmd/hapfit -in trace.csv -model hap -l 5 -m 3 -json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"time"
+
+	"hap/internal/fit"
+	"hap/internal/haperr"
+	"hap/internal/netgen"
+	"hap/internal/obs"
+	"hap/internal/trace"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "CSV trace to fit (first column = arrival seconds)")
+		listen   = flag.String("listen", "", "fit live traffic arriving on this UDP address instead of a file")
+		expect   = flag.Int("expect", 0, "stop collecting after this many packets (listen mode; 0 = idle timeout only)")
+		idle     = flag.Duration("idle", 5*time.Second, "stop collecting after this long with no packets (listen mode)")
+		model    = flag.String("model", "auto", "auto | poisson | onoff | hap | mmpp2 (comma-separate for a subset)")
+		appTypes = flag.Int("l", 1, "application types per user in the fitted HAP tree")
+		fanout   = flag.Int("m", 1, "message-generator fanout per application in the fitted HAP tree")
+		muMsg    = flag.Float64("mu3", 0, "declared message service rate for fitted queueing models (0 = 2x the trace rate)")
+		emIter   = flag.Int("em-max-iter", 0, "MMPP2 EM iteration budget (0 = default)")
+		emTol    = flag.Float64("em-tol", 0, "MMPP2 EM convergence tolerance on the per-sample log-likelihood delta (0 = default)")
+		emMax    = flag.Int("em-max-samples", 0, "cap on interarrivals the EM pass consumes (0 = default, negative = unlimited)")
+		asJSON   = flag.Bool("json", false, "emit the full report as JSON")
+		timeout  = flag.Duration("timeout", 0, "abort collecting/fitting after this wall-clock budget (0 = none; ctrl-c also cancels)")
+		metrics  = flag.String("metrics", "", "serve live metrics on this address (e.g. :9090 or 127.0.0.1:0)")
+	)
+	flag.Parse()
+	if (*in == "") == (*listen == "") {
+		fmt.Fprintln(os.Stderr, "hapfit: exactly one of -in or -listen is required")
+		flag.Usage()
+		os.Exit(haperr.ExitUsage)
+	}
+	if *metrics != "" {
+		srv, err := obs.Serve(*metrics)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", srv.Addr())
+	}
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSignals()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	var (
+		times []float64
+		err   error
+	)
+	if *in != "" {
+		times, err = trace.ReadTimestamps(*in)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		times, err = collect(ctx, *listen, *expect, *idle)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	opt := fit.Options{
+		ServiceRate: *muMsg,
+		AppTypes:    *appTypes,
+		Fanout:      *fanout,
+		EM:          fit.EMOptions{MaxIter: *emIter, Tol: *emTol, MaxSamples: *emMax},
+	}
+	if *model != "auto" && *model != "" {
+		opt.Models = strings.Split(*model, ",")
+	}
+	rep, err := fit.Fit(ctx, times, opt)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+	} else {
+		printReport(rep)
+	}
+	if rep.Best == "" {
+		// Every candidate failed; surface the most informative failure as
+		// the exit code (not-converged beats a generic error).
+		code := haperr.ExitError
+		for _, c := range rep.Candidates {
+			if c.Diag.Iterations > 0 && !c.Diag.Converged {
+				code = haperr.ExitNotConverged
+			}
+		}
+		os.Exit(code)
+	}
+}
+
+// collect gathers arrival timestamps live, streaming each packet into the
+// slice the fitters consume via the sink's OnArrival hook.
+func collect(ctx context.Context, listen string, expect int, idle time.Duration) ([]float64, error) {
+	sink, err := netgen.NewSink(listen)
+	if err != nil {
+		return nil, err
+	}
+	defer sink.Close()
+	var times []float64
+	sink.OnArrival = func(sec float64) { times = append(times, sec) }
+	fmt.Fprintf(os.Stderr, "listening on %s (ctrl-c to stop and fit what arrived)\n", sink.Addr())
+	st, err := sink.Collect(ctx, expect, idle)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "collected %d packets in %v (lost %d, reordered %d)\n",
+		st.Received, st.Elapsed.Round(time.Millisecond), st.Lost, st.Reordered)
+	return times, nil
+}
+
+func printReport(rep *fit.Report) {
+	tr := rep.Trace
+	fmt.Printf("trace: %d arrivals over %.4g s — rate %.4g/s, mean interarrival %.4g s, c² %.4g\n",
+		tr.N, tr.Horizon, tr.Rate, tr.MeanIA, tr.C2)
+	if tr.Bursts.Bursts > 0 {
+		fmt.Printf("bursts: %d (mean size %.3g msgs, length %.3g s, gap %.3g s)\n",
+			tr.Bursts.Bursts, tr.Bursts.MeanSize, tr.Bursts.MeanBurst, tr.Bursts.MeanGap)
+	}
+	if n := len(tr.IDC); n > 0 {
+		ws := make([]float64, 0, n)
+		for _, p := range tr.IDC {
+			ws = append(ws, p.Window)
+		}
+		sort.Float64s(ws)
+		last := tr.IDC[len(tr.IDC)-1]
+		fmt.Printf("dispersion: IDC(%.3g s) = %.4g over %d windows in [%.3g s, %.3g s]\n",
+			last.Window, last.IDC, n, ws[0], ws[n-1])
+	}
+	fmt.Println()
+	fmt.Printf("%-8s %2s %10s %10s %14s  %s\n", "model", "k", "rate", "c²", "BIC", "status")
+	for _, c := range rep.Candidates {
+		if c.Error != "" {
+			fmt.Printf("%-8s %2s %10s %10s %14s  failed: %s\n", c.Name, "-", "-", "-", "-", c.Error)
+			continue
+		}
+		status := "converged"
+		if !c.Diag.Converged {
+			status = "NOT converged"
+		}
+		if c.Diag.Iterations > 0 {
+			status += fmt.Sprintf(" (%d iter)", c.Diag.Iterations)
+		}
+		marker := " "
+		if c.Name == rep.Best {
+			marker = "*"
+		}
+		fmt.Printf("%-8s %2d %10.4g %10.4g %14.1f  %s%s\n", c.Name, c.K, c.Rate, c.C2, c.BIC, marker, status)
+	}
+	fmt.Println()
+	if rep.Best == "" {
+		fmt.Println("best: none — every candidate failed")
+		return
+	}
+	fmt.Printf("best: %s\n", rep.Best)
+	printBest(rep.BestCandidate())
+}
+
+func printBest(c *fit.Candidate) {
+	switch {
+	case c == nil:
+	case c.Poisson != nil:
+		fmt.Printf("  Poisson arrivals, λ = %.6g/s\n", c.Poisson.Rate)
+	case c.OnOff != nil:
+		m := c.OnOff.Model
+		fmt.Printf("  ON-OFF: ν = %.4g active calls (λ = %.4g/s, μ = %.4g/s), γ = %.4g msgs/s per call, μ” = %.4g/s declared\n",
+			c.OnOff.Nu, m.Lambda, m.Mu, m.MsgLambda, m.MsgMu)
+	case c.HAP != nil:
+		m := c.HAP.Model
+		if ok, lambdaApp, muApp, lambdaMsg, fo := m.Symmetric(); ok {
+			fmt.Printf("  HAP: users λ = %.4g/s, μ = %.4g/s; %d app types λ' = %.4g/s, μ' = %.4g/s; fanout %d, λ” = %.4g/s\n",
+				m.Lambda, m.Mu, m.NumAppTypes(), lambdaApp, muApp, fo, lambdaMsg)
+		} else {
+			fmt.Printf("  HAP: %v\n", m)
+		}
+	case c.MMPP2 != nil:
+		f := c.MMPP2
+		fmt.Printf("  MMPP2: rates %.4g/s ↔ %.4g/s, switching Q01 = %.4g/s, Q10 = %.4g/s (%d interarrivals, loglik %.6g)\n",
+			f.Model.R0, f.Model.R1, f.Model.Q01, f.Model.Q10, f.Samples, f.LogLik)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(haperr.ExitCode(err))
+}

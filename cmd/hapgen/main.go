@@ -11,6 +11,11 @@
 // One-shot loopback demo (sender + sink in one process):
 //
 //	go run ./cmd/hapgen -mode loopback -model-seconds 300 -compress 100
+//
+// Trace export (no network; writes model-time arrival timestamps as CSV
+// that hapfit -in reads back):
+//
+//	go run ./cmd/hapgen -mode trace -model-seconds 600 -out trace.csv
 package main
 
 import (
@@ -25,6 +30,7 @@ import (
 	"hap/internal/haperr"
 	"hap/internal/netgen"
 	"hap/internal/obs"
+	"hap/internal/trace"
 
 	// Register the sim and solver metric families so one scrape shows the
 	// full hap_* namespace, present-but-zero when unused.
@@ -34,7 +40,8 @@ import (
 
 func main() {
 	var (
-		mode     = flag.String("mode", "loopback", "send | sink | loopback")
+		mode     = flag.String("mode", "loopback", "send | sink | loopback | trace")
+		out      = flag.String("out", "trace.csv", "output CSV path (trace mode)")
 		to       = flag.String("to", "127.0.0.1:9999", "sink address (send mode)")
 		listen   = flag.String("listen", "127.0.0.1:9999", "listen address (sink mode)")
 		source   = flag.String("source", "hap", "hap | poisson | onoff")
@@ -73,6 +80,17 @@ func main() {
 	case "send":
 		s := makeSchedule(*source, *seconds, *seed, *muMsg)
 		sendTo(ctx, *to, s, *compress, *pad)
+	case "trace":
+		s := makeSchedule(*source, *seconds, *seed, *muMsg)
+		times := make([]float64, len(s.Arrivals))
+		for i, a := range s.Arrivals {
+			times[i] = a.T
+		}
+		if err := trace.WriteCSV(*out, trace.Series{Name: "arrival_s", Values: times}); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d arrivals over %g model s (rate %.4g/s) to %s\n",
+			len(times), s.Horizon, s.MeanRate(), *out)
 	case "loopback":
 		sink, err := netgen.NewSink("127.0.0.1:0")
 		if err != nil {

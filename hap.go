@@ -13,7 +13,9 @@
 //   - the paper's three HAP/M/1 solutions plus an exact matrix-geometric
 //     solver (Solve* functions);
 //   - a discrete-event simulator (Simulate* functions);
-//   - admission-control helpers built on the closed forms.
+//   - admission-control helpers built on the closed forms;
+//   - parameter estimation from observed packet traces (FitTrace) — the
+//     closed forms run in reverse.
 //
 // Quick start:
 //
@@ -32,6 +34,7 @@ import (
 
 	"hap/internal/admission"
 	"hap/internal/core"
+	"hap/internal/fit"
 	"hap/internal/haperr"
 	"hap/internal/obs"
 	"hap/internal/sim"
@@ -204,6 +207,39 @@ func RequiredBandwidth(m *Model, targetDelay float64) (float64, error) {
 // the mean.
 func DelayQuantiles(m *Model, opts *SolveOptions, ps ...float64) ([]float64, error) {
 	return solver.DelayQuantiles(m, opts, ps...)
+}
+
+// FitOptions tunes FitTrace: the declared service rate and HAP tree
+// shape, the EM budget, and the candidate model set.
+type FitOptions = fit.Options
+
+// FitEMOptions tunes the Baum-Welch MMPP2 fitter inside FitTrace.
+type FitEMOptions = fit.EMOptions
+
+// FitReport is a full model-selection run over one trace: the trace's
+// observational summary, every attempted candidate ranked by BIC, and the
+// name of the winner.
+type FitReport = fit.Report
+
+// FitCandidate is one attempted model class inside a FitReport.
+type FitCandidate = fit.Candidate
+
+// TraceSummary is the observational statistics a fit consumed: rate,
+// interarrival c², the IDC-versus-window curve, and burst structure.
+type TraceSummary = fit.Summary
+
+// FitTrace estimates arrival-process models from raw arrival timestamps
+// (seconds, need not be sorted) and reports which model class the trace
+// supports: Poisson, ON-OFF (2-level HAP), symmetric 3-level HAP, and a
+// 2-state MMPP fitted by EM. It is the reverse direction of the package's
+// closed forms — Simulate generates arrivals from parameters, FitTrace
+// recovers parameters from arrivals. Cancellation via ctx interrupts the
+// EM pass; failed candidates are reported in place, never panicked.
+//
+//	rep, err := hap.FitTrace(ctx, times, hap.FitOptions{AppTypes: 5, Fanout: 3})
+//	fmt.Println(rep.Best, rep.BestCandidate().Rate)
+func FitTrace(ctx context.Context, times []float64, opt FitOptions) (*FitReport, error) {
+	return fit.Fit(ctx, times, opt)
 }
 
 // Metrics returns a point-in-time snapshot of every runtime metric the

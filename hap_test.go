@@ -1,6 +1,7 @@
 package hap_test
 
 import (
+	"context"
 	"io"
 	"math"
 	"net/http"
@@ -166,5 +167,43 @@ func TestFacadeMetrics(t *testing.T) {
 	}
 	if !strings.Contains(string(body), "hap_sim_events_total") {
 		t.Errorf("/metrics page missing hap_sim_events_total:\n%.400s", body)
+	}
+}
+
+func TestFacadeFitTrace(t *testing.T) {
+	// Generate a Poisson trace through the facade simulator, fit it back,
+	// and require the selector to recognise it — the README's
+	// generate→fit round trip in miniature.
+	res := hap.SimulatePoisson(8.25, 20, hap.SimConfig{
+		Horizon: 4000, Seed: 21,
+		Measure: hap.SimMeasure{KeepArrivalTimes: 40000},
+	})
+	times := res.Meas.Arrivals
+	if len(times) < 10000 {
+		t.Fatalf("only %d arrivals kept", len(times))
+	}
+	rep, err := hap.FitTrace(context.Background(), times, hap.FitOptions{
+		Models: []string{"poisson", "onoff"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Best != "poisson" {
+		t.Fatalf("Best = %q, want poisson; candidates %+v", rep.Best, rep.Candidates)
+	}
+	best := rep.BestCandidate()
+	if best == nil || math.Abs(best.Rate-8.25)/8.25 > 0.05 {
+		t.Fatalf("fitted rate %+v, want ≈ 8.25", best)
+	}
+	// The fit layer publishes its own metric family on the shared registry.
+	snap := hap.Metrics()
+	found := false
+	for name, v := range snap {
+		if strings.HasPrefix(name, "hap_fit_fits_total") && v > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no hap_fit_fits_total series incremented after FitTrace")
 	}
 }

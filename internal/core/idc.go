@@ -66,6 +66,14 @@ func (idc *IDC) CovRate(u float64) float64 {
 	return idc.c1*math.Exp(-idc.a1*u) + idc.c2*math.Exp(-idc.a2*u)
 }
 
+// Components exposes the two-exponential covariance decomposition
+// Cov_R(u) = c1·e^{−a1·u} + c2·e^{−a2·u} together with λ̄. The estimation
+// layer (internal/fit) inverts exactly these coefficients to recover model
+// parameters from an observed IDC curve.
+func (idc *IDC) Components() (lamBar, c1, a1, c2, a2 float64) {
+	return idc.lamBar, idc.c1, idc.a1, idc.c2, idc.a2
+}
+
 // RateVariance returns Var(R) = Cov_R(0).
 func (idc *IDC) RateVariance() float64 { return idc.c1 + idc.c2 }
 
@@ -74,12 +82,15 @@ func (idc *IDC) At(t float64) float64 {
 	if t <= 0 {
 		return 1
 	}
-	integral := idc.c1*kernel(idc.a1, t) + idc.c2*kernel(idc.a2, t)
+	integral := idc.c1*IDCKernel(idc.a1, t) + idc.c2*IDCKernel(idc.a2, t)
 	return 1 + 2*integral/(idc.lamBar*t)
 }
 
-func kernel(a, t float64) float64 {
-	// t/a − (1−e^{−at})/a², evaluated stably for small at.
+// IDCKernel evaluates ∫₀ᵗ(t−u)e^{−au}du = t/a − (1−e^{−at})/a², the
+// building block of every doubly-stochastic-Poisson IDC curve, stably for
+// small at. Exported so the fitting layer can build the same basis
+// functions it inverts.
+func IDCKernel(a, t float64) float64 {
 	at := a * t
 	if at < 1e-6 {
 		// Series: ∫(t−u)e^{−au}du ≈ t²/2 − a t³/6.

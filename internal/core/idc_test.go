@@ -95,8 +95,8 @@ func TestIDCKernelStability(t *testing.T) {
 	// The small-at series and the closed form must agree at the seam.
 	for _, a := range []float64{1e-3, 1, 100} {
 		seam := 1e-6 / a
-		lo := kernel(a, seam*0.999)
-		hi := kernel(a, seam*1.001)
+		lo := IDCKernel(a, seam*0.999)
+		hi := IDCKernel(a, seam*1.001)
 		if math.Abs(hi-lo)/math.Max(hi, 1e-300) > 0.01 {
 			t.Errorf("kernel discontinuous at seam for a=%v: %v vs %v", a, lo, hi)
 		}

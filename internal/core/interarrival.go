@@ -126,7 +126,12 @@ func (ia *Interarrival) Mean() float64 {
 
 // SecondMoment returns E[T²] = 2∫t·Ā(t)dt by adaptive quadrature.
 func (ia *Interarrival) SecondMoment() float64 {
-	scale := 1 / ia.minLam()
+	// The first quadrature window must straddle the bulk of the law, not
+	// just its slowest tail: for a many-sparse-sources parameterisation
+	// (large ν, tiny per-source rate — fitters produce these on
+	// Poisson-like traces) 1/minLam is thousands of mean interarrivals
+	// and adaptive Simpson would step clean over the mass near zero.
+	scale := math.Min(1/ia.minLam(), ia.Mean())
 	return 2 * quad.ToInf(func(t float64) float64 { return t * ia.CCDF(t) }, 0, scale, 1e-12)
 }
 
@@ -144,7 +149,7 @@ func (ia *Interarrival) Laplace(s float64) float64 {
 	if s == 0 {
 		return 1
 	}
-	scale := 1 / (ia.minLam() + s)
+	scale := math.Min(1/(ia.minLam()+s), ia.Mean())
 	integral := quad.ToInf(func(t float64) float64 {
 		return ia.CCDF(t) * math.Exp(-s*t)
 	}, 0, scale, 1e-13)

@@ -81,9 +81,13 @@ func (t *TwoLevel) ZeroRateMass() float64 { return math.Exp(-t.Nu()) }
 // Mean returns E[T] = (1 − e^{-ν})/λ̄.
 func (t *TwoLevel) Mean() float64 { return (1 - t.ZeroRateMass()) / t.MeanRate() }
 
-// SecondMoment returns E[T²] = 2∫ t Ā(t) dt by quadrature.
+// SecondMoment returns E[T²] = 2∫ t Ā(t) dt by quadrature. As with
+// Interarrival.SecondMoment, the first window is clamped to the mean so a
+// many-sparse-calls parameterisation (huge ν, tiny γ) keeps its bulk
+// inside the quadrature's view.
 func (t *TwoLevel) SecondMoment() float64 {
-	return 2 * quad.ToInf(func(x float64) float64 { return x * t.CCDF(x) }, 0, 1/t.MsgLambda, 1e-12)
+	scale := math.Min(1/t.MsgLambda, t.Mean())
+	return 2 * quad.ToInf(func(x float64) float64 { return x * t.CCDF(x) }, 0, scale, 1e-12)
 }
 
 // SCV returns the squared coefficient of variation of the interarrival law.
@@ -99,7 +103,7 @@ func (t *TwoLevel) Laplace(s float64) float64 {
 	}
 	integral := quad.ToInf(func(x float64) float64 {
 		return t.CCDF(x) * math.Exp(-s*x)
-	}, 0, 1/(t.MsgLambda+s), 1e-13)
+	}, 0, math.Min(1/(t.MsgLambda+s), t.Mean()), 1e-13)
 	return 1 - s*integral
 }
 

@@ -1,0 +1,285 @@
+package fit
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"hap/internal/haperr"
+	"hap/internal/mmpp"
+)
+
+// EMOptions tunes the Baum-Welch MMPP2 fitter. The zero value is usable.
+type EMOptions struct {
+	// MaxIter bounds the EM iterations (0 defaults to 200). Exhausting it
+	// returns the best iterate alongside ErrNotConverged.
+	MaxIter int
+	// Tol is the convergence threshold on the per-sample log-likelihood
+	// improvement between iterations (0 defaults to 1e-8).
+	Tol float64
+	// MaxSamples caps the interarrivals fed to EM; longer traces are
+	// strided down (EM is O(iterations·samples), and 2·10⁵ samples pin
+	// four parameters far beyond the 5% tolerances used here). 0 defaults
+	// to 200000; negative disables the cap.
+	MaxSamples int
+}
+
+func (o EMOptions) maxIter() int {
+	if o.MaxIter <= 0 {
+		return 200
+	}
+	return o.MaxIter
+}
+
+func (o EMOptions) tol() float64 {
+	if o.Tol <= 0 {
+		return 1e-8
+	}
+	return o.Tol
+}
+
+func (o EMOptions) maxSamples() int {
+	if o.MaxSamples == 0 {
+		return 200000
+	}
+	return o.MaxSamples
+}
+
+// MMPP2Fit is a fitted 2-state MMPP.
+type MMPP2Fit struct {
+	Model mmpp.MMPP2
+	// Rates are the hidden-state arrival rates (Rates[0] <= Rates[1]);
+	// P is the per-arrival state transition matrix the HMM estimated.
+	Rates [2]float64
+	P     [2][2]float64
+	// LogLik is the final HMM log-likelihood of the interarrival sequence.
+	LogLik float64
+	// Samples is the number of interarrivals EM actually used (after any
+	// MaxSamples striding).
+	Samples int
+	Diag    haperr.Diag
+}
+
+// FitMMPP2EM fits a 2-state MMPP to arrival timestamps by Baum-Welch EM
+// on the hidden-Markov chain embedded at arrival epochs: state k emits an
+// exponential interarrival with rate r_k, and states switch between
+// arrivals with matrix P. This is the Markov-renewal approximation of the
+// MMPP (exact when switching is slow relative to arrivals — the regime
+// where a 2-state MMPP is worth fitting at all); the continuous-time
+// generator is recovered as Q_kj = P_kj·r_k, the rate of arrival epochs
+// in state k times the per-epoch switch probability.
+//
+// The forward-backward pass is scaled per step, so traces of any length
+// stay in float range. Initialisation is deterministic (r = {½, 2}/mean,
+// sticky P), making fits reproducible. The context is polled once per
+// iteration; cancellation returns the context's error wrapped, an
+// exhausted budget returns the best iterate alongside ErrNotConverged,
+// and either way Diag carries iterations, the final log-likelihood
+// improvement, and the converged flag — the generate→fit loop's answer to
+// "did EM actually settle or just stop".
+func FitMMPP2EM(ctx context.Context, times []float64, opt EMOptions) (MMPP2Fit, error) {
+	start := time.Now()
+	fit, err := fitMMPP2EM(ctx, times, opt)
+	if err != nil {
+		recordFitErr("mmpp2", start, err)
+		obsEMIterations.Add(int64(fit.Diag.Iterations))
+	} else {
+		recordFit("mmpp2", start, fit.Diag)
+	}
+	obsLogLik.Set(fit.LogLik)
+	return fit, err
+}
+
+func fitMMPP2EM(ctx context.Context, times []float64, opt EMOptions) (MMPP2Fit, error) {
+	x, err := interarrivals(times, opt.maxSamples())
+	if err != nil {
+		return MMPP2Fit{}, err
+	}
+	n := len(x)
+	mean := 0.0
+	for _, v := range x {
+		mean += v
+	}
+	mean /= float64(n)
+	if !(mean > 0) {
+		return MMPP2Fit{}, haperr.Badf("fit: interarrivals have zero mean")
+	}
+
+	// Deterministic initialisation: rates bracketing the empirical mean
+	// rate, sticky transitions, stationary initial distribution.
+	r := [2]float64{0.5 / mean, 2 / mean}
+	p := [2][2]float64{{0.95, 0.05}, {0.05, 0.95}}
+	pi := [2]float64{0.5, 0.5}
+
+	alpha := make([][2]float64, n)
+	beta := make([][2]float64, n)
+	scale := make([]float64, n)
+
+	loglik := math.Inf(-1)
+	var delta float64
+	diag := haperr.Diag{}
+	for it := 1; it <= opt.maxIter(); it++ {
+		if err := ctx.Err(); err != nil {
+			diag.Iterations = it - 1
+			diag.Residual = delta
+			return MMPP2Fit{Diag: diag}, fmt.Errorf("fit: MMPP2 EM cancelled after %d iterations: %w", it-1, err)
+		}
+
+		// E step: scaled forward-backward with exponential emissions
+		// b_k(x) = r_k·e^{−r_k·x}.
+		ll := 0.0
+		for t := 0; t < n; t++ {
+			var a [2]float64
+			if t == 0 {
+				for k := 0; k < 2; k++ {
+					a[k] = pi[k] * emit(r[k], x[0])
+				}
+			} else {
+				prev := alpha[t-1]
+				for k := 0; k < 2; k++ {
+					a[k] = (prev[0]*p[0][k] + prev[1]*p[1][k]) * emit(r[k], x[t])
+				}
+			}
+			c := a[0] + a[1]
+			if !(c > 0) || math.IsInf(c, 0) || math.IsNaN(c) {
+				return MMPP2Fit{Diag: diag}, haperr.Badf("fit: MMPP2 EM forward pass degenerated at sample %d (x=%g)", t, x[t])
+			}
+			alpha[t] = [2]float64{a[0] / c, a[1] / c}
+			scale[t] = c
+			ll += math.Log(c)
+		}
+		beta[n-1] = [2]float64{1, 1}
+		for t := n - 2; t >= 0; t-- {
+			next := beta[t+1]
+			var b [2]float64
+			for k := 0; k < 2; k++ {
+				b[k] = (p[k][0]*emit(r[0], x[t+1])*next[0] + p[k][1]*emit(r[1], x[t+1])*next[1]) / scale[t+1]
+			}
+			beta[t] = b
+		}
+
+		// M step: posterior state occupancies and transition counts.
+		var gSum, gxSum [2]float64 // Σγ_t(k), Σγ_t(k)·x_t
+		var xi [2][2]float64       // Σξ_t(j,k)
+		var g0 [2]float64
+		for t := 0; t < n; t++ {
+			g := [2]float64{alpha[t][0] * beta[t][0], alpha[t][1] * beta[t][1]}
+			norm := g[0] + g[1]
+			g[0] /= norm
+			g[1] /= norm
+			if t == 0 {
+				g0 = g
+			}
+			for k := 0; k < 2; k++ {
+				gSum[k] += g[k]
+				gxSum[k] += g[k] * x[t]
+			}
+			if t+1 < n {
+				var tot float64
+				var e [2][2]float64
+				for j := 0; j < 2; j++ {
+					for k := 0; k < 2; k++ {
+						e[j][k] = alpha[t][j] * p[j][k] * emit(r[k], x[t+1]) * beta[t+1][k] / scale[t+1]
+						tot += e[j][k]
+					}
+				}
+				for j := 0; j < 2; j++ {
+					for k := 0; k < 2; k++ {
+						xi[j][k] += e[j][k] / tot
+					}
+				}
+			}
+		}
+		for k := 0; k < 2; k++ {
+			if gxSum[k] > 0 {
+				r[k] = gSum[k] / gxSum[k]
+			}
+			out := xi[k][0] + xi[k][1]
+			if out > 0 {
+				p[k][0] = xi[k][0] / out
+				p[k][1] = xi[k][1] / out
+			}
+			// Keep transitions proper: a row collapsing to an absorbing
+			// state has left the 2-state family.
+			const floor = 1e-12
+			if p[k][0] < floor {
+				p[k][0], p[k][1] = floor, 1-floor
+			}
+			if p[k][1] < floor {
+				p[k][1], p[k][0] = floor, 1-floor
+			}
+			pi[k] = g0[k]
+		}
+
+		delta = ll - loglik
+		loglik = ll
+		diag.Iterations = it
+		diag.Residual = math.Abs(delta) / float64(n)
+		if it > 1 && diag.Residual < opt.tol() {
+			diag.Converged = true
+			break
+		}
+	}
+
+	// Canonical order: state 0 is the slow (low-rate) state.
+	if r[0] > r[1] {
+		r[0], r[1] = r[1], r[0]
+		p[0][0], p[1][1] = p[1][1], p[0][0]
+		p[0][1], p[1][0] = p[1][0], p[0][1]
+	}
+	fit := MMPP2Fit{
+		Rates:   r,
+		P:       p,
+		LogLik:  loglik,
+		Samples: n,
+		Diag:    diag,
+		Model: mmpp.MMPP2{
+			R0:  r[0],
+			R1:  r[1],
+			Q01: p[0][1] * r[0],
+			Q10: p[1][0] * r[1],
+		},
+	}
+	if err := fit.Model.Validate(); err != nil {
+		return fit, haperr.Badf("fit: EM produced an invalid MMPP2 (%v)", err)
+	}
+	if !diag.Converged {
+		return fit, fmt.Errorf("fit: MMPP2 EM used all %d iterations (last per-sample improvement %.3g): %w",
+			opt.maxIter(), diag.Residual, haperr.ErrNotConverged)
+	}
+	return fit, nil
+}
+
+// emit is the exponential emission density r·e^{−rx}, floored so a single
+// extreme interarrival cannot zero out the whole forward pass.
+func emit(r, x float64) float64 {
+	d := r * math.Exp(-r*x)
+	if d < 1e-300 {
+		return 1e-300
+	}
+	return d
+}
+
+// interarrivals converts sorted arrival timestamps to the (optionally
+// strided) interarrival sequence EM consumes.
+func interarrivals(times []float64, maxSamples int) ([]float64, error) {
+	if len(times) < 8 {
+		return nil, haperr.Badf("fit: MMPP2 EM needs at least 8 arrivals, got %d", len(times))
+	}
+	x := make([]float64, 0, len(times)-1)
+	for i := 1; i < len(times); i++ {
+		d := times[i] - times[i-1]
+		if math.IsNaN(d) || math.IsInf(d, 0) || d < 0 {
+			return nil, haperr.Badf("fit: bad interarrival %g at index %d", d, i)
+		}
+		x = append(x, d)
+	}
+	if maxSamples > 0 && len(x) > maxSamples {
+		// Truncate to a contiguous prefix: EM models the sequence's serial
+		// correlation, which any strided subsample would distort (halving
+		// apparent sojourn lengths doubles the fitted switching rates).
+		x = x[:maxSamples]
+	}
+	return x, nil
+}

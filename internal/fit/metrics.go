@@ -1,0 +1,68 @@
+package fit
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"hap/internal/haperr"
+	"hap/internal/obs"
+)
+
+// Runtime metrics for the estimation layer. Fits are coarse-grained (a
+// grid search or an EM run over up to ~10⁶ interarrivals), so per-fit
+// recording is free relative to the work it measures.
+var (
+	obsFits = obs.NewCounterVec("hap_fit_fits_total",
+		"Fits by model (poisson, onoff, hap, mmpp2) and outcome (converged, not_converged, bad_parameter, cancelled, error).",
+		"model", "outcome")
+	obsEMIterations = obs.NewCounter("hap_fit_em_iterations_total",
+		"Baum-Welch iterations accumulated across MMPP2 fits.")
+	obsSamples = obs.NewCounter("hap_fit_samples_total",
+		"Arrival timestamps ingested by fitted traces.")
+	obsLogLik = obs.NewFloatGauge("hap_fit_last_loglik",
+		"Final log-likelihood of the most recent MMPP2 EM fit.")
+	obsC2 = obs.NewFloatGauge("hap_fit_last_c2",
+		"Empirical interarrival c² of the most recently fitted trace.")
+	obsFitTime = obs.NewTimer("hap_fit_fit",
+		"Single-model fit wall time.")
+)
+
+// fitOutcome classifies a finished fit for the labelled counter.
+func fitOutcome(err error, diag haperr.Diag) string {
+	switch {
+	case err == nil && diag.Converged:
+		return "converged"
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return "cancelled"
+	case errors.Is(err, haperr.ErrNotConverged):
+		return "not_converged"
+	case errors.Is(err, haperr.ErrBadParameter):
+		return "bad_parameter"
+	case err == nil:
+		return "not_converged"
+	default:
+		return "error"
+	}
+}
+
+// recordFit publishes one successful fit.
+func recordFit(model string, start time.Time, diag haperr.Diag) {
+	obsFits.With(model, fitOutcome(nil, diag)).Inc()
+	if model == "mmpp2" {
+		obsEMIterations.Add(int64(diag.Iterations))
+	}
+	obsFitTime.Observe(time.Since(start))
+}
+
+// recordFitErr publishes one failed fit.
+func recordFitErr(model string, start time.Time, err error) {
+	obsFits.With(model, fitOutcome(err, haperr.Diag{})).Inc()
+	obsFitTime.Observe(time.Since(start))
+}
+
+// recordTrace publishes the observational side of a fit request.
+func recordTrace(ts *TraceStats) {
+	obsSamples.Add(ts.N())
+	obsC2.Set(ts.C2())
+}

@@ -1,0 +1,93 @@
+package fit
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestFitReportIsJSONSerialisable(t *testing.T) {
+	arrivals := int64(60_000)
+	rt, err := Simulate(SimPoisson(8.25, 20), RoundTripConfig{
+		MeanRate: 8.25, Arrivals: arrivals, Reps: 1, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Fit(context.Background(), rt.Times, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Best != rep.Best || len(back.Candidates) != len(rep.Candidates) {
+		t.Errorf("round-tripped report differs: best %q vs %q", back.Best, rep.Best)
+	}
+}
+
+func TestFitRestrictsModels(t *testing.T) {
+	rt, err := Simulate(SimPoisson(8.25, 20), RoundTripConfig{
+		MeanRate: 8.25, Arrivals: 30_000, Reps: 1, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Fit(context.Background(), rt.Times, Options{Models: []string{"poisson", "mmpp2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Candidates) != 2 {
+		t.Fatalf("got %d candidates, want 2", len(rep.Candidates))
+	}
+	for _, c := range rep.Candidates {
+		if c.Name != "poisson" && c.Name != "mmpp2" {
+			t.Errorf("unexpected candidate %q", c.Name)
+		}
+	}
+}
+
+func TestFitUnknownModel(t *testing.T) {
+	rt, err := Simulate(SimPoisson(8.25, 20), RoundTripConfig{
+		MeanRate: 8.25, Arrivals: 30_000, Reps: 1, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Fit(context.Background(), rt.Times, Options{Models: []string{"bogus", "poisson"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bogus *Candidate
+	for i := range rep.Candidates {
+		if rep.Candidates[i].Name == "bogus" {
+			bogus = &rep.Candidates[i]
+		}
+	}
+	if bogus == nil || !strings.Contains(bogus.Error, "unknown model class") {
+		t.Errorf("bogus candidate = %+v", bogus)
+	}
+	if rep.Best != "poisson" {
+		t.Errorf("Best = %q, want poisson", rep.Best)
+	}
+}
+
+func TestFitCancelled(t *testing.T) {
+	times := make([]float64, 64)
+	for i := range times {
+		times[i] = float64(i)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Fit(ctx, times, Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}

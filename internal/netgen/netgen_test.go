@@ -118,6 +118,18 @@ func TestSendReceiveLoopback(t *testing.T) {
 	}
 	dropsBefore := obsPacketsDropped.Value()
 
+	// The streaming hook must see every decoded packet, in order, with
+	// non-negative receiver-clock times (this is what hapfit -listen uses).
+	hookCalls := 0
+	prevSec := -1.0
+	sink.OnArrival = func(sec float64) {
+		if sec < prevSec {
+			t.Errorf("OnArrival time went backwards: %g after %g", sec, prevSec)
+		}
+		prevSec = sec
+		hookCalls++
+	}
+
 	done := make(chan SinkStats, 1)
 	go func() {
 		st, err := sink.Collect(ctx, len(s.Arrivals), idle)
@@ -137,6 +149,9 @@ func TestSendReceiveLoopback(t *testing.T) {
 	}
 	if drops := obsPacketsDropped.Value() - dropsBefore; drops > 0 {
 		t.Logf("loopback dropped %d packets (sequence gaps at the sink)", drops)
+	}
+	if hookCalls != st.Received {
+		t.Errorf("OnArrival fired %d times for %d received packets", hookCalls, st.Received)
 	}
 	if st.BytesTotal < int64(st.Received*(HeaderSize+32)) {
 		t.Errorf("byte count %d too small", st.BytesTotal)

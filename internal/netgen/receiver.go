@@ -29,6 +29,13 @@ type SinkStats struct {
 // process.
 type Sink struct {
 	conn *net.UDPConn
+
+	// OnArrival, when non-nil, is invoked from Collect for every decoded
+	// packet with its arrival time in seconds since Collect started. It
+	// lets a caller stream arrivals into an accumulator (hapfit feeds a
+	// fit.TraceStats this way) without buffering the whole trace twice.
+	// It runs on Collect's goroutine; keep it fast.
+	OnArrival func(sec float64)
 }
 
 // NewSink listens on addr ("127.0.0.1:0" picks a free port).
@@ -130,7 +137,11 @@ func (s *Sink) Collect(ctx context.Context, expect int, idle time.Duration) (Sin
 				obsPacketsReordered.Inc()
 			}
 		}
-		times = append(times, now.Sub(start).Seconds())
+		sec := now.Sub(start).Seconds()
+		times = append(times, sec)
+		if s.OnArrival != nil {
+			s.OnArrival(sec)
+		}
 		lastRecv = now
 		lastSeq = pkt.Seq
 		haveSeq = true

@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"hap/internal/haperr"
+)
+
+// This file is the reading half of the package: hapfit ingests packet
+// traces users hand it, so unlike ReadCSV (which round-trips this
+// package's own writer output for tests) the readers here are tolerant of
+// the dialect zoo real trace files arrive in — CRLF line endings, blank
+// lines, ragged rows, optional header rows, stray spaces — and return
+// ErrBadParameter errors instead of panicking on anything malformed.
+
+// ReadCSVFrom parses CSV from r into column series. Tolerated dialect:
+// CRLF or LF endings, blank lines anywhere, rows with differing field
+// counts (short rows leave later columns unpadded), leading whitespace,
+// lazy quotes, and an optional header row — the first row is a header
+// when any of its cells does not parse as a number, otherwise it is data
+// and columns are named col0, col1, … Empty cells are skipped. A non-
+// numeric cell in a data row is an error wrapping ErrBadParameter.
+func ReadCSVFrom(r io.Reader) ([]Series, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	cr.LazyQuotes = true
+	cr.TrimLeadingSpace = true
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, haperr.Badf("trace: malformed csv (%v)", err)
+	}
+	// Drop rows whose every cell is blank (csv already skips fully empty
+	// lines; this also catches ",," and whitespace-only rows).
+	rows := recs[:0]
+	for _, rec := range recs {
+		blank := true
+		for _, cell := range rec {
+			if strings.TrimSpace(cell) != "" {
+				blank = false
+				break
+			}
+		}
+		if !blank {
+			rows = append(rows, rec)
+		}
+	}
+	if len(rows) == 0 {
+		return nil, haperr.Badf("trace: csv holds no data rows")
+	}
+	width := 0
+	for _, rec := range rows {
+		if len(rec) > width {
+			width = len(rec)
+		}
+	}
+	out := make([]Series, width)
+	header := false
+	for _, cell := range rows[0] {
+		cell = strings.TrimSpace(cell)
+		if cell == "" {
+			continue
+		}
+		if _, err := strconv.ParseFloat(cell, 64); err != nil {
+			header = true
+			break
+		}
+	}
+	if header {
+		for i := range out {
+			if i < len(rows[0]) {
+				out[i].Name = strings.TrimSpace(rows[0][i])
+			}
+			if out[i].Name == "" {
+				out[i].Name = fmt.Sprintf("col%d", i)
+			}
+		}
+		rows = rows[1:]
+	} else {
+		for i := range out {
+			out[i].Name = fmt.Sprintf("col%d", i)
+		}
+	}
+	for nr, rec := range rows {
+		for i, cell := range rec {
+			cell = strings.TrimSpace(cell)
+			if cell == "" {
+				continue
+			}
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return nil, haperr.Badf("trace: row %d column %d: %q is not a number", nr+1, i, cell)
+			}
+			out[i].Values = append(out[i].Values, v)
+		}
+	}
+	return out, nil
+}
+
+// ReadTimestampsFrom parses the first column of CSV data from r — the
+// arrival-timestamp convention hapgen writes and hapfit reads.
+func ReadTimestampsFrom(r io.Reader) ([]float64, error) {
+	cols, err := ReadCSVFrom(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(cols) == 0 || len(cols[0].Values) == 0 {
+		return nil, haperr.Badf("trace: csv holds no timestamps in its first column")
+	}
+	return cols[0].Values, nil
+}
+
+// ReadTimestamps reads the first column of the CSV file at path.
+func ReadTimestamps(path string) ([]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	ts, err := ReadTimestampsFrom(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return ts, nil
+}

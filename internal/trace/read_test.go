@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hap/internal/haperr"
+)
+
+func TestReadCSVFromHeaderAndCRLF(t *testing.T) {
+	in := "t,idc\r\n\r\n0.5,1.0\r\n1.5,1.1\r\n"
+	cols, err := ReadCSVFrom(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 2 || cols[0].Name != "t" || cols[1].Name != "idc" {
+		t.Fatalf("columns = %+v", cols)
+	}
+	if len(cols[0].Values) != 2 || cols[0].Values[1] != 1.5 {
+		t.Errorf("t column = %v", cols[0].Values)
+	}
+}
+
+func TestReadCSVFromHeaderless(t *testing.T) {
+	cols, err := ReadCSVFrom(strings.NewReader("1\n2\n3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 1 || cols[0].Name != "col0" || len(cols[0].Values) != 3 {
+		t.Fatalf("columns = %+v", cols)
+	}
+}
+
+func TestReadCSVFromRaggedAndBlankRows(t *testing.T) {
+	in := "a,b\n1,2\n3\n ,\n5,6\n"
+	cols, err := ReadCSVFrom(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cols[0].Values; len(got) != 3 || got[1] != 3 {
+		t.Errorf("a column = %v", got)
+	}
+	if got := cols[1].Values; len(got) != 2 || got[1] != 6 {
+		t.Errorf("b column = %v", got)
+	}
+}
+
+func TestReadCSVFromRejectsGarbage(t *testing.T) {
+	for _, in := range []string{
+		"",
+		"\n\n",
+		"t\n1\nbogus\n",
+		"1,2\n3,oops\n",
+	} {
+		if _, err := ReadCSVFrom(strings.NewReader(in)); !errors.Is(err, haperr.ErrBadParameter) {
+			t.Errorf("input %q: want ErrBadParameter, got %v", in, err)
+		}
+	}
+}
+
+func TestReadTimestampsRoundTripsWriter(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	want := []float64{0.25, 1.5, 2.75, 4}
+	if err := WriteCSV(path, Series{Name: "arrival_s", Values: want}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTimestamps(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestReadTimestampsMissingFile(t *testing.T) {
+	if _, err := ReadTimestamps(filepath.Join(t.TempDir(), "nope.csv")); err == nil {
+		t.Fatal("want error for missing file")
+	}
+}
+
+// FuzzReadCSV asserts the reader's only failure mode on arbitrary bytes is
+// a clean ErrBadParameter — never a panic — and that anything it does
+// accept parses into finite-length columns consistent with the input size.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("t,idc\n0.5,1.0\n")
+	f.Add("1\n2\n3\n")
+	f.Add("a,b\r\n1,2\r\n")
+	f.Add("1,2\n3\n,\n")
+	f.Add(`"quoted",2` + "\n")
+	f.Add("\xff\xfe0,1\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		cols, err := ReadCSVFrom(strings.NewReader(in))
+		if err != nil {
+			if !errors.Is(err, haperr.ErrBadParameter) {
+				t.Fatalf("non-parameter error %v on input %q", err, in)
+			}
+			return
+		}
+		if len(cols) == 0 {
+			t.Fatalf("nil error but no columns on input %q", in)
+		}
+		for _, c := range cols {
+			if len(c.Values) > len(in) {
+				t.Fatalf("column %q has %d values from %d input bytes", c.Name, len(c.Values), len(in))
+			}
+		}
+	})
+}

@@ -1,0 +1,101 @@
+// Command benchgate is the `make bench-gate` allocation-regression check:
+// it extracts allocs/op for a benchmark from two `go test -json` capture
+// files (the committed baseline and a fresh run) and fails when the fresh
+// number regresses past the tolerance. The event loop's zero-allocation
+// steady state is a load-bearing property — a slipped allocs/op means a
+// hot-path allocation crept in, which a timing benchmark alone would
+// drown in noise.
+//
+// Tolerance calibration: the event loop allocates only per *run* (heap,
+// measurement buffers), never per event, so an allocs/op regression from
+// a hot-path allocation shows up as millions (once per simulated event),
+// not percent. The slack therefore only needs to absorb the one-shot
+// (-benchtime=1x) measurement's cross-session runtime noise, observed at
+// up to ~1.3x on an identical tree; 1.5x keeps the gate quiet on noise
+// while any real per-event allocation still exceeds it by four orders of
+// magnitude.
+//
+//	go run ./scripts/benchgate -baseline BENCH_baseline.json -current BENCH_pr5.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+func main() {
+	var (
+		baseline = flag.String("baseline", "BENCH_baseline.json", "committed go test -json capture")
+		current  = flag.String("current", "BENCH_pr5.json", "fresh go test -json capture")
+		bench    = flag.String("bench", "BenchmarkSimulatorHAPEvents", "benchmark whose allocs/op is gated")
+		slack    = flag.Float64("slack", 1.5, "multiplicative tolerance on the baseline")
+		headroom = flag.Int64("headroom", 32, "additive tolerance on the baseline (absorbs one-time setup drift)")
+	)
+	flag.Parse()
+	if err := run(*baseline, *current, *bench, *slack, *headroom); err != nil {
+		fmt.Fprintln(os.Stderr, "bench-gate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(baseline, current, bench string, slack float64, headroom int64) error {
+	base, err := allocsPerOp(baseline, bench)
+	if err != nil {
+		return err
+	}
+	cur, err := allocsPerOp(current, bench)
+	if err != nil {
+		return err
+	}
+	limit := int64(float64(base)*slack) + headroom
+	if cur > limit {
+		return fmt.Errorf("%s allocs/op regressed: %d > limit %d (baseline %d, slack %.2fx+%d)",
+			bench, cur, limit, base, slack, headroom)
+	}
+	fmt.Printf("bench-gate: ok — %s at %d allocs/op (baseline %d, limit %d)\n", bench, cur, base, limit)
+	return nil
+}
+
+// allocsPerOp scans a go test -json stream for the benchmark's result
+// line ("...\t  60268217 ns/op\t ... \t     163 allocs/op").
+func allocsPerOp(path, bench string) (int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	re := regexp.MustCompile(`(\d+) allocs/op`)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		var ev struct {
+			Action string `json:"Action"`
+			Test   string `json:"Test"`
+			Output string `json:"Output"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			continue // tolerate non-JSON noise in the capture
+		}
+		if ev.Action != "output" || ev.Test != bench {
+			continue
+		}
+		m := re.FindStringSubmatch(ev.Output)
+		if m == nil {
+			continue
+		}
+		n, err := strconv.ParseInt(m[1], 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("%s: bad allocs/op in %q: %w", path, ev.Output, err)
+		}
+		return n, nil
+	}
+	if err := sc.Err(); err != nil {
+		return 0, fmt.Errorf("%s: %w", path, err)
+	}
+	return 0, fmt.Errorf("%s: no allocs/op line for %s (was the capture taken with -benchmem?)", path, bench)
+}

@@ -1,0 +1,99 @@
+// Command fitsmoke is the `make fit-smoke` gate: it builds cmd/hapgen and
+// cmd/hapfit, exports a ~10k-arrival Poisson trace with hapgen, fits it
+// with hapfit -json, and asserts the model selector names "poisson" with
+// a rate near the generator's 8.25/s — the deterministic end-to-end
+// contract of the generate→fit pipeline.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+const (
+	wantRate    = 8.25 // PaperParams mean rate, hapgen's -source poisson default
+	modelSecs   = "1250"
+	seed        = "20260806"
+	rateBand    = 0.10
+	minArrivals = 8000
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fit-smoke:", err)
+		os.Exit(1)
+	}
+	fmt.Println("fit-smoke: ok")
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "fitsmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	bins := map[string]string{}
+	for _, name := range []string{"hapgen", "hapfit"} {
+		bin := filepath.Join(dir, name)
+		build := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+		build.Stderr = os.Stderr
+		if err := build.Run(); err != nil {
+			return fmt.Errorf("build %s: %w", name, err)
+		}
+		bins[name] = bin
+	}
+
+	csv := filepath.Join(dir, "trace.csv")
+	gen := exec.Command(bins["hapgen"], "-mode", "trace", "-source", "poisson",
+		"-model-seconds", modelSecs, "-seed", seed, "-out", csv)
+	gen.Stdout, gen.Stderr = os.Stdout, os.Stderr
+	if err := gen.Run(); err != nil {
+		return fmt.Errorf("hapgen: %w", err)
+	}
+
+	var out bytes.Buffer
+	fitCmd := exec.Command(bins["hapfit"], "-in", csv, "-json")
+	fitCmd.Stdout, fitCmd.Stderr = &out, os.Stderr
+	if err := fitCmd.Run(); err != nil {
+		return fmt.Errorf("hapfit: %w", err)
+	}
+
+	var rep struct {
+		Trace struct {
+			N    int64   `json:"N"`
+			Rate float64 `json:"Rate"`
+		} `json:"trace"`
+		Best       string `json:"best"`
+		Candidates []struct {
+			Name string  `json:"name"`
+			Rate float64 `json:"rate"`
+		} `json:"candidates"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		return fmt.Errorf("parse report: %w\n%s", err, out.String())
+	}
+	if rep.Trace.N < minArrivals {
+		return fmt.Errorf("trace holds %d arrivals, want at least %d", rep.Trace.N, minArrivals)
+	}
+	if rep.Best != "poisson" {
+		return fmt.Errorf("selector picked %q on a Poisson trace, want poisson", rep.Best)
+	}
+	for _, c := range rep.Candidates {
+		if c.Name != "poisson" {
+			continue
+		}
+		if re := math.Abs(c.Rate-wantRate) / wantRate; re > rateBand {
+			return fmt.Errorf("fitted rate %.4g, want %.4g within %.0f%%", c.Rate, wantRate, 100*rateBand)
+		}
+		fmt.Printf("fit-smoke: %d arrivals, best=%s, rate %.4g (truth %.4g)\n",
+			rep.Trace.N, rep.Best, c.Rate, wantRate)
+		return nil
+	}
+	return fmt.Errorf("no poisson candidate in report:\n%s", out.String())
+}
