@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test ci fmt vet race race-all bench-smoke bench bench-pr5 bench-gate baseline metrics-smoke fit-smoke
+.PHONY: all build test ci fmt vet race race-all bench-smoke bench bench-pr6 bench-gate baseline metrics-smoke fit-smoke shard-smoke
 
 all: build test
 
@@ -11,9 +11,10 @@ test:
 	$(GO) test ./...
 
 # ci is the merge gate: formatting, vet, the race detector over the
-# concurrency-bearing packages, a one-iteration benchmark smoke test, and
-# the generate→fit pipeline smoke.
-ci: fmt vet race bench-smoke fit-smoke
+# concurrency-bearing packages, a one-iteration benchmark smoke test, the
+# generate→fit pipeline smoke, the multi-shard determinism smoke, and the
+# benchmark trajectory gate (fresh capture vs the previous PR's).
+ci: fmt vet race bench-smoke fit-smoke shard-smoke bench
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -39,6 +40,12 @@ race-all:
 metrics-smoke:
 	$(GO) run ./scripts/metricsmoke
 
+# shard-smoke builds cmd/hapsim and asserts the sharded engine's two CI
+# properties: -shards 1 and -shards 4 print bit-identical statistics, and
+# a sharded run under -metrics exposes the scheduler gauges.
+shard-smoke:
+	$(GO) run ./scripts/shardsmoke
+
 # fit-smoke runs the generate→fit pipeline end to end: hapgen exports a
 # ~10k-arrival Poisson trace, hapfit fits it, and the gate asserts the
 # selector names "poisson" at the generator's rate.
@@ -48,16 +55,19 @@ fit-smoke:
 bench-smoke:
 	$(GO) test -bench=SimulatorHAP -benchtime=1x -run '^$$' .
 
-# bench captures a fresh full benchmark sweep as BENCH_pr5.json (same
-# go-test-json schema as BENCH_baseline.json) and gates the event loop's
-# allocs/op against the committed baseline.
-bench: bench-pr5 bench-gate
+# bench captures a fresh full benchmark sweep as BENCH_pr6.json (same
+# go-test-json schema as BENCH_baseline.json) and runs the gate: allocs/op
+# against the committed baseline, plus the per-PR trajectory (allocs/op and
+# events/s) against the previous capture, BENCH_pr5.json. The gate
+# auto-discovers the newest BENCH_pr<N>.json as current and the one before
+# it as previous; see scripts/benchgate for the tolerance calibration.
+bench: bench-pr6 bench-gate
 
-bench-pr5:
-	$(GO) test -bench . -benchtime=1x -run '^$$' -json . > BENCH_pr5.json
+bench-pr6:
+	$(GO) test -bench . -benchtime=1x -run '^$$' -json . > BENCH_pr6.json
 
 bench-gate:
-	$(GO) run ./scripts/benchgate -baseline BENCH_baseline.json -current BENCH_pr5.json
+	$(GO) run ./scripts/benchgate
 
 # baseline regenerates BENCH_baseline.json (one iteration per benchmark —
 # a reference shape, not a statistically stable measurement).

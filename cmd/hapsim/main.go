@@ -45,6 +45,8 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed (replication i derives its own seed from this)")
 		reps    = flag.Int("reps", 1, "independent replications to run and merge")
 		workers = flag.Int("parallel", 1, "workers for replications: 0 = all cores, 1 = serial")
+		shards  = flag.Int("shards", 0, "sharded aggregate: engines to spread the sources over (0 = off unless -sources is set, in which case all cores)")
+		sources = flag.Int("sources", 0, "sharded aggregate: independent sources to simulate (0 = off unless -shards is set, in which case 8 per shard)")
 		busy    = flag.Bool("busy", false, "track busy periods (mountains)")
 		queue   = flag.Float64("queuetrace", 0, "queue trace sample interval in seconds (0 = off)")
 		csvOut  = flag.String("csv", "", "write the queue trace to this CSV file")
@@ -102,6 +104,16 @@ func main() {
 	if err := cfg.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(haperr.ExitUsage)
+	}
+
+	if *shards > 0 || *sources > 0 {
+		if *reps > 1 {
+			fmt.Fprintln(os.Stderr, "-shards/-sources runs one sharded aggregate; it cannot be combined with -reps")
+			os.Exit(haperr.ExitUsage)
+		}
+		runSharded(ctx, *source, *shards, *sources, mcfg, *horizon, *seed,
+			*lambda, *mu, *lambda2, *mu2, *lambda3, *mu3, *l, *mm, *config, *memProf)
+		return
 	}
 
 	// Build a per-seed runner once; a single run and a replicated run then
@@ -229,6 +241,76 @@ func main() {
 		}
 	}
 	writeMemProfile(*memProf)
+	if res.Err != nil {
+		fmt.Fprintln(os.Stderr, res.Err)
+		os.Exit(haperr.ExitCode(res.Err))
+	}
+}
+
+// runSharded simulates an aggregate of independent sources partitioned
+// across per-core engines (see sim.RunSharded) and prints the merged
+// statistics. Results are bit-identical for any -shards value.
+func runSharded(ctx context.Context, source string, shards, sources int, mcfg sim.MeasureConfig,
+	horizon float64, seed int64,
+	lambda, mu, lambda2, mu2, lambda3, mu3 float64, l, mm int, config, memProf string) {
+	if sources == 0 {
+		per := shards
+		if per <= 0 {
+			per = runtime.GOMAXPROCS(0)
+		}
+		sources = 8 * per
+	}
+	scfg := sim.ShardedConfig{Horizon: horizon, Seed: seed, Shards: shards, Measure: mcfg, Ctx: ctx}
+	if err := scfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(haperr.ExitUsage)
+	}
+
+	var res *sim.ShardedResult
+	switch source {
+	case "hap":
+		var m *core.Model
+		if config != "" {
+			var err error
+			m, err = core.LoadModel(config)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+		} else {
+			m = core.NewSymmetric(lambda, mu, lambda2, mu2, lambda3, mu3, l, mm)
+		}
+		if err := m.Validate(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(haperr.ExitUsage)
+		}
+		fmt.Printf("source: %d × %s\n", sources, m)
+		res = sim.RunShardedHAP(m, sources, scfg)
+	case "onoff":
+		tl := &core.TwoLevel{Lambda: lambda, Mu: mu, MsgLambda: lambda3, MsgMu: mu3}
+		if err := tl.Validate(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(haperr.ExitUsage)
+		}
+		fmt.Printf("source: %d × onoff(ν=%.4g, γ=%.4g)\n", sources, tl.Nu(), tl.MsgLambda)
+		res = sim.RunShardedOnOff(tl, sources, scfg)
+	default:
+		fmt.Fprintf(os.Stderr, "source %q does not support sharded aggregates (use hap or onoff)\n", source)
+		os.Exit(haperr.ExitUsage)
+	}
+
+	fmt.Printf("\nsharded aggregate: %d sources on %d shards, wall %v\n",
+		res.Sources, res.Shards, res.Elapsed)
+	fmt.Printf("events %d, arrivals %d, departures %d (%.4g events/s aggregate)\n",
+		res.Events, res.Arrivals, res.Departures, res.EventsPerSec())
+	if res.Truncated {
+		fmt.Println("warning: at least one shard stopped before the horizon")
+	}
+	fmt.Printf("mean delay         %.5g s (std %.4g, max %.4g, n=%d)\n",
+		res.Merged.MeanDelay(), res.Merged.Delays.Std(), res.Merged.Delays.Max(), res.Merged.Delays.N())
+	fmt.Printf("mean queue length  %.5g (max %g, per source)\n",
+		res.Merged.MeanQueue(), res.Merged.Queue.Max())
+	writeMemProfile(memProf)
 	if res.Err != nil {
 		fmt.Fprintln(os.Stderr, res.Err)
 		os.Exit(haperr.ExitCode(res.Err))

@@ -190,6 +190,27 @@ func SimulateReplications(ctx context.Context, m *Model, cfg SimConfig, n, worke
 	})
 }
 
+// SimShardedConfig drives a sharded aggregate simulation.
+type SimShardedConfig = sim.ShardedConfig
+
+// SimSharded is a completed sharded aggregate simulation.
+type SimSharded = sim.ShardedResult
+
+// SimulateSharded simulates n independent HAP sources (each feeding its
+// own exponential server) partitioned across per-core engines. Source i
+// is seeded from (cfg.Seed, i) only, so the merged result is bit-identical
+// for every cfg.Shards value — shard count changes wall-clock time, never
+// the statistics. This is the multi-core path for the paper's aggregate
+// experiments; see SimulateReplications for replicating one scenario.
+func SimulateSharded(m *Model, n int, cfg SimShardedConfig) *SimSharded {
+	return sim.RunShardedHAP(m, n, cfg)
+}
+
+// SimulateShardedOnOff is SimulateSharded for the 2-level / ON-OFF model.
+func SimulateShardedOnOff(tl *TwoLevel, n int, cfg SimShardedConfig) *SimSharded {
+	return sim.RunShardedOnOff(tl, n, cfg)
+}
+
 // MaxWorkload finds the largest user arrival-rate multiplier whose
 // Solution-2 delay meets the target (admission control).
 func MaxWorkload(m *Model, targetDelay float64) (factor, delay float64, err error) {

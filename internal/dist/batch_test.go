@@ -1,0 +1,48 @@
+package dist
+
+import "testing"
+
+// TestExpBatchPreservesStreamOrder pins the contract the simulation relies
+// on: a batched reader yields exactly the sequence the raw stream would,
+// so wiring batching into a source changes no sample path.
+func TestExpBatchPreservesStreamOrder(t *testing.T) {
+	a := NewStreams(99).Next()
+	b := NewStreams(99).Next()
+	batch := NewExpBatch(b)
+	for i := 0; i < 4*expBatchSize+7; i++ {
+		want := a.ExpFloat64()
+		if got := batch.Exp(); got != want {
+			t.Fatalf("draw %d: batched %v != direct %v", i, got, want)
+		}
+	}
+}
+
+// TestExpBatchLazyFirstRefill checks that construction alone consumes no
+// draws, so install-time (non-exponential) sampling that precedes the
+// first batched draw sees an untouched stream.
+func TestExpBatchLazyFirstRefill(t *testing.T) {
+	a := NewStreams(7).Next()
+	b := NewStreams(7).Next()
+	_ = NewExpBatch(b) // must not advance b
+	if got, want := b.Float64(), a.Float64(); got != want {
+		t.Fatalf("construction advanced the stream: %v != %v", got, want)
+	}
+}
+
+func BenchmarkExpDirect(b *testing.B) {
+	rng := NewStreams(1).Next()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		acc += rng.ExpFloat64()
+	}
+	_ = acc
+}
+
+func BenchmarkExpBatched(b *testing.B) {
+	batch := NewExpBatch(NewStreams(1).Next())
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		acc += batch.Exp()
+	}
+	_ = acc
+}

@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// checkSameOrder pops one event from both structures and fails on any
+// divergence in the (t, seq) total order.
+func checkSameOrder(t *testing.T, ref *eventHeap, s *sched) event {
+	t.Helper()
+	want := ref.pop()
+	got := s.pop()
+	if got.t != want.t || got.seq != want.seq {
+		t.Fatalf("pop order diverged: sched (t=%v seq=%d), heap (t=%v seq=%d)",
+			got.t, got.seq, want.t, want.seq)
+	}
+	return want
+}
+
+// TestSchedMatchesHeapRandomized drives the hybrid scheduler and a
+// reference binary heap through identical randomized push/pop
+// interleavings and asserts they agree on every pop. The time scales per
+// trial span nine orders of magnitude so the calendar's width adaptation,
+// bucket rollover, and direct-search fallback all fire; the push mix
+// includes exact ties (same t, ordered by seq), small discrete clusters,
+// and far-future outliers that overflow the slot arithmetic into the
+// calendar's sorted overflow list.
+func TestSchedMatchesHeapRandomized(t *testing.T) {
+	scales := []float64{1e-6, 1e-3, 1.0, 1e3}
+	for trial, scale := range scales {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		var ref eventHeap
+		var s sched
+		s.heap = make(eventHeap, 0, 16)
+		var seq uint64
+		now := 0.0
+		push := func(tm float64) {
+			seq++
+			ev := event{t: tm, seq: seq}
+			ref.push(ev)
+			s.push(ev)
+		}
+		for step := 0; step < 120000; step++ {
+			if s.len() == 0 || rng.Float64() < 0.55 {
+				var tm float64
+				switch r := rng.Float64(); {
+				case r < 0.05:
+					tm = now // exact tie with the clock
+				case r < 0.12:
+					tm = now + float64(rng.Intn(3))*scale // clustered ties
+				case r < 0.13:
+					tm = 1e290 * (1 + rng.Float64()) // slot overflow → far list
+				default:
+					tm = now + rng.ExpFloat64()*scale
+				}
+				push(tm)
+			} else {
+				now = checkSameOrder(t, &ref, &s).t
+			}
+			if s.len() != len(ref) {
+				t.Fatalf("trial %d: size diverged: sched %d, heap %d", trial, s.len(), len(ref))
+			}
+		}
+		for s.len() > 0 {
+			checkSameOrder(t, &ref, &s)
+		}
+	}
+}
+
+// TestSchedMigrationSawtooth forces repeated heap→calendar→heap
+// migrations by oscillating the pending count across both hysteresis
+// thresholds, checking order on every pop.
+func TestSchedMigrationSawtooth(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var ref eventHeap
+	var s sched
+	s.heap = make(eventHeap, 0, 16)
+	var seq uint64
+	now := 0.0
+	for cycle := 0; cycle < 6; cycle++ {
+		for s.len() < calEnter+512 {
+			seq++
+			ev := event{t: now + rng.ExpFloat64(), seq: seq}
+			ref.push(ev)
+			s.push(ev)
+		}
+		if !s.onCal {
+			t.Fatalf("cycle %d: expected calendar above calEnter (len=%d)", cycle, s.len())
+		}
+		for s.len() > calExit/2 {
+			now = checkSameOrder(t, &ref, &s).t
+		}
+		if s.onCal {
+			t.Fatalf("cycle %d: expected heap below calExit (len=%d)", cycle, s.len())
+		}
+	}
+	for s.len() > 0 {
+		checkSameOrder(t, &ref, &s)
+	}
+}
+
+// TestSchedBurstMigration covers the install-time shape: a large burst of
+// pushes before any pop (no gap EWMA yet), then a full drain.
+func TestSchedBurstMigration(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var ref eventHeap
+	var s sched
+	s.heap = make(eventHeap, 0, 16)
+	var seq uint64
+	for i := 0; i < 3*calEnter; i++ {
+		seq++
+		ev := event{t: rng.Float64() * 1e4, seq: seq}
+		ref.push(ev)
+		s.push(ev)
+	}
+	for s.len() > 0 {
+		checkSameOrder(t, &ref, &s)
+	}
+}
+
+// TestSchedAllTies drains a pending set where every event shares one
+// timestamp — the degenerate zero-width case — asserting pure seq order.
+func TestSchedAllTies(t *testing.T) {
+	var s sched
+	s.heap = make(eventHeap, 0, 16)
+	n := calEnter + 100
+	for i := 0; i < n; i++ {
+		s.push(event{t: 5, seq: uint64(i + 1)})
+	}
+	for i := 0; i < n; i++ {
+		e := s.pop()
+		if e.seq != uint64(i+1) {
+			t.Fatalf("tie order broken: pop %d returned seq %d", i, e.seq)
+		}
+	}
+}
+
+// TestCalendarSteadyStateZeroAlloc pins the zero-allocation contract of
+// the calendar-queue steady state: once the structure is warm, a
+// push/pop cycle at constant occupancy allocates nothing (the event-loop
+// equivalent is one schedule per processed event).
+func TestCalendarSteadyStateZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var s sched
+	s.heap = make(eventHeap, 0, 16)
+	var seq uint64
+	now := 0.0
+	for i := 0; i < 2*calEnter; i++ {
+		seq++
+		s.push(event{t: now + rng.ExpFloat64(), seq: seq})
+	}
+	if !s.onCal {
+		t.Fatalf("expected calendar mode at len=%d", s.len())
+	}
+	// Warm the bucket capacities through a few full occupancy cycles.
+	for i := 0; i < 8*calEnter; i++ {
+		e := s.pop()
+		now = e.t
+		seq++
+		s.push(event{t: now + rng.ExpFloat64(), seq: seq})
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		e := s.pop()
+		now = e.t
+		seq++
+		s.push(event{t: now + rng.ExpFloat64(), seq: seq})
+	})
+	if allocs > 0 {
+		t.Fatalf("calendar steady state allocates: %v allocs per push/pop cycle", allocs)
+	}
+}

@@ -1,20 +1,27 @@
 // Package sim is the discrete-event simulator for HAP and its baseline
-// traffic models feeding a single-server FIFO queue — the experimental
+// traffic models feeding single-server FIFO queues — the experimental
 // apparatus behind the paper's Figures 11–18. Sources (HAP, HAP-CS,
-// Poisson, ON-OFF, MMPP) generate message arrivals; the exponential server
-// drains them; measurement hooks record delays, queue-length and
+// Poisson, ON-OFF, MMPP) generate message arrivals; exponential servers
+// drain them; measurement hooks record delays, queue-length and
 // population traces, busy periods ("mountains") and running means.
 //
 // The engine is deterministic for a fixed seed: ties in event time are
 // broken by schedule order.
 //
 // The hot loop is allocation-free: events are typed values (kind + source
-// slot + integer payload) stored inline in the heap slice and dispatched
+// slot + integer payload) stored inline in the scheduler and dispatched
 // through a switch on concrete source types, so processing an event costs
 // no closure allocation, no interface boxing and no GC pressure. Sources
 // track their users/applications/calls in slot tables with generation
 // counters (see table) instead of per-entity heap objects, which is what
 // lets a pending event name an entity without keeping a pointer alive.
+//
+// An engine hosts one or more stations — (queue, server, measurements)
+// triples. The default station 0 is the classic single-queue setup every
+// existing entry point uses; the sharded aggregate runner (see sharded.go)
+// gives each source its own station on a shared engine, so hundreds of
+// independent source/queue systems cost one scheduler and one event loop
+// rather than one engine each.
 package sim
 
 import (
@@ -31,8 +38,8 @@ import (
 type eventKind uint8
 
 const (
-	evFunc eventKind = iota // closure fallback for the public Schedule API
-	evServiceDone
+	evFunc        eventKind = iota // closure fallback for the public Schedule API
+	evServiceDone                  // src = station index
 	// HAPSource
 	evHAPUserArrive // next spontaneous user arrival
 	evHAPUserDepart // a = user slot, b = generation
@@ -60,9 +67,9 @@ const (
 	evCSSendResp   // a = flattened message type
 )
 
-// event is one scheduled occurrence, stored by value in the heap. fire is
-// set only for evFunc events from the public Schedule API; every internal
-// event is fully described by (kind, src, a, b, c).
+// event is one scheduled occurrence, stored by value in the scheduler.
+// fire is set only for evFunc events from the public Schedule API; every
+// internal event is fully described by (kind, src, a, b, c).
 type event struct {
 	t    float64
 	seq  uint64
@@ -76,7 +83,9 @@ type event struct {
 
 // eventHeap is a hand-rolled binary min-heap ordered by (t, seq). Avoiding
 // container/heap's interface boxing saves one allocation per event, which
-// matters at 10⁷–10⁸ events per run.
+// matters at 10⁷–10⁸ events per run. It is the scheduler's small-n mode;
+// see calqueue.go for the large-n calendar queue and the hybrid that
+// switches between them.
 type eventHeap []event
 
 func (h eventHeap) less(i, j int) bool {
@@ -173,23 +182,51 @@ type message struct {
 	class   int // message class index for per-class stats
 }
 
-// Engine is the simulation core: clock, future event list, and the single
-// exponential (or general) server queue.
-type Engine struct {
-	now    float64
-	seq    uint64
-	events eventHeap
-
+// station is one (FIFO queue, server, measurements) triple. Station 0 is
+// the engine's default; AddStation creates more for sharded aggregates.
+// A station's sample path depends only on its own arrival stream and its
+// own service stream, never on which other stations share the engine —
+// the independence that makes sharded runs bit-identical at any shard
+// count.
+type station struct {
 	// FIFO queue as a sliding window: queue[qhead] is in service when
 	// busy. The head index avoids O(n) shifts during long busy periods
 	// (mountains reach O(10⁴) messages).
-	queue   []message
-	qhead   int
-	busy    bool
-	rng     *rand.Rand // service-time stream
-	horizon float64
+	queue []message
+	qhead int
+	busy  bool
+	rng   *rand.Rand // service-time stream
+	// batch, when non-nil, serves exponential service laws from a
+	// block-refilled reader over rng (see dist.ExpBatch); draw order is
+	// preserved, so enabling it changes no sample path as long as every
+	// service law on the station is exponential.
+	batch      *dist.ExpBatch
+	meas       *Measurements
+	arrivals   int64
+	departures int64
+	// users/apps are the populations of the sources bound to this station;
+	// keeping them per station (not engine-global) is what makes a
+	// station's measurements independent of which other stations share the
+	// engine — the sharding determinism contract.
+	users int
+	apps  int
+	// served, when set, is invoked after each service completion with the
+	// message class; the HAP-CS source uses it to trigger responses.
+	served func(class int)
+}
 
-	meas *Measurements
+func (st *station) qlen() int { return len(st.queue) - st.qhead }
+
+// Engine is the simulation core: clock, future event list, and one or
+// more single-server queues (stations).
+type Engine struct {
+	now    float64
+	seq    uint64
+	events sched
+
+	stations []station
+
+	horizon float64
 
 	// Installed sources by concrete type; event.src indexes into the
 	// matching slice, so dispatch is a direct switch with no interface
@@ -200,6 +237,11 @@ type Engine struct {
 	cbrs     []*CBRSource
 	mmpps    []*MMPPSource
 	css      []*CSSource
+
+	// installStation is the station new sources bind to; Install leaves
+	// it at 0 (the classic single-queue engine), InstallAt points it at a
+	// dedicated station for the duration of one source's Install.
+	installStation int32
 
 	// Populations maintained by sources for tracing.
 	users int
@@ -222,15 +264,11 @@ type Engine struct {
 	// context stops the run early with err recording the cause.
 	ctx context.Context
 	err error
-
-	// served, when set, is invoked after each service completion with the
-	// message class; the HAP-CS source uses it to trigger responses.
-	served func(class int)
 }
 
-// Pre-sizing for the event heap and message queue: large enough that
-// typical runs never grow them, small enough to be irrelevant for tiny
-// ones (a few tens of KiB per engine).
+// Pre-sizing for the event scheduler and message queues: large enough
+// that typical runs never grow them, small enough to be irrelevant for
+// tiny ones (a few tens of KiB per engine).
 const (
 	initialHeapCap  = 1 << 12
 	initialQueueCap = 1 << 10
@@ -242,23 +280,57 @@ const (
 const ctxPollMask = 1<<12 - 1
 
 // NewEngine creates an engine running to the given simulated horizon,
-// with the supplied service-time random stream.
+// with the supplied service-time random stream feeding station 0.
 func NewEngine(horizon float64, rng *rand.Rand, meas *Measurements) *Engine {
 	if horizon <= 0 {
 		panic("sim: horizon must be positive")
 	}
+	if meas == nil {
+		meas = NewMeasurements(MeasureConfig{})
+	}
 	e := &Engine{
 		horizon:   horizon,
-		rng:       rng,
-		meas:      meas,
 		maxEvents: 1 << 62,
-		events:    make(eventHeap, 0, initialHeapCap),
-		queue:     make([]message, 0, initialQueueCap),
 	}
-	if meas == nil {
-		e.meas = NewMeasurements(MeasureConfig{})
-	}
+	e.events.heap = make(eventHeap, 0, initialHeapCap)
+	e.stations = append(e.stations, station{
+		queue: make([]message, 0, initialQueueCap),
+		rng:   rng,
+		meas:  meas,
+	})
 	return e
+}
+
+// AddStation creates an independent (queue, server, measurements) triple
+// and returns its index. Sources bound to the station via InstallAt feed
+// its queue instead of station 0's. With batched true, exponential
+// service laws are served from a block-refilled draw buffer — the draw
+// order is preserved, so results are unchanged provided every service law
+// on the station is exponential (non-exponential laws fall back to direct
+// sampling, which then interleaves with the pre-read buffer and changes
+// the station's sample path versus an unbatched station; never enable
+// batching on stations with mixed service laws if that equivalence
+// matters).
+func (e *Engine) AddStation(rng *rand.Rand, meas *Measurements, batched bool) int32 {
+	if meas == nil {
+		meas = NewMeasurements(MeasureConfig{})
+	}
+	st := station{rng: rng, meas: meas}
+	if batched {
+		st.batch = dist.NewExpBatch(rng)
+	}
+	e.stations = append(e.stations, st)
+	return int32(len(e.stations) - 1)
+}
+
+// InstallAt installs a source bound to the given station: every message
+// the source emits joins that station's queue, and that station's
+// measurements observe it.
+func (e *Engine) InstallAt(src Source, station int32) {
+	prev := e.installStation
+	e.installStation = station
+	src.Install(e)
+	e.installStation = prev
 }
 
 // Now returns the simulation clock.
@@ -300,7 +372,7 @@ func (e *Engine) scheduleEvAfter(d float64, kind eventKind, src, a, b, c int32) 
 func (e *Engine) dispatch(ev *event) {
 	switch ev.kind {
 	case evServiceDone:
-		e.completeService()
+		e.completeService(ev.src)
 	case evHAPEmit:
 		e.haps[ev.src].emit(ev.a, ev.b, ev.c)
 	case evHAPSpawn:
@@ -385,8 +457,11 @@ func (e *Engine) registerCS(s *CSSource) int32 {
 // the context error for cancellations); measurements always close at
 // min(now, horizon), never at a horizon the run did not reach.
 func (e *Engine) Run() {
-	e.meas.start(e.now, e.QueueLen(), e.users, e.apps)
-	for len(e.events) > 0 {
+	for i := range e.stations {
+		st := &e.stations[i]
+		st.meas.start(e.now, st.qlen(), st.users, st.apps)
+	}
+	for e.events.len() > 0 {
 		if e.processed >= e.maxEvents {
 			e.truncated = true
 			break
@@ -414,7 +489,10 @@ func (e *Engine) Run() {
 	if end > e.horizon {
 		end = e.horizon
 	}
-	e.meas.finish(end, e.QueueLen())
+	for i := range e.stations {
+		st := &e.stations[i]
+		st.meas.finish(end, st.qlen())
+	}
 	e.flushObs()
 	obsRuns.Inc()
 	if e.truncated {
@@ -441,70 +519,124 @@ func (e *Engine) Processed() int64 { return e.processed }
 // reaching the horizon.
 func (e *Engine) Truncated() bool { return e.truncated }
 
-// Arrivals returns the number of messages that entered the queue.
+// Arrivals returns the number of messages that entered a queue (all
+// stations).
 func (e *Engine) Arrivals() int64 { return e.arrivals }
 
-// Departures returns the number of completed services.
+// Departures returns the number of completed services (all stations).
 func (e *Engine) Departures() int64 { return e.departures }
 
-// QueueLen returns the current number in system.
-func (e *Engine) QueueLen() int { return len(e.queue) - e.qhead }
+// QueueLen returns the current number in system at station 0.
+func (e *Engine) QueueLen() int { return e.stations[0].qlen() }
 
-// ArriveMessage delivers a message with the given service-time law to the
-// queue at the current clock.
+// totalQueueLen sums the number in system across stations (obs gauge).
+func (e *Engine) totalQueueLen() int {
+	n := 0
+	for i := range e.stations {
+		n += e.stations[i].qlen()
+	}
+	return n
+}
+
+// ArriveMessage delivers a message with the given service-time law to
+// station 0's queue at the current clock.
 func (e *Engine) ArriveMessage(svc dist.Distribution, class int) {
+	e.arriveInto(0, svc, class)
+}
+
+// arriveInto delivers a message to the given station's queue.
+func (e *Engine) arriveInto(sti int32, svc dist.Distribution, class int) {
 	e.arrivals++
-	m := message{arrival: e.now, svc: svc, class: class}
-	e.queue = append(e.queue, m)
-	e.meas.onArrival(e.now, e.QueueLen(), class)
-	if !e.busy {
-		e.startService()
+	st := &e.stations[sti]
+	st.arrivals++
+	st.queue = append(st.queue, message{arrival: e.now, svc: svc, class: class})
+	st.meas.onArrival(e.now, st.qlen(), class)
+	if !st.busy {
+		e.startService(sti)
 	}
 }
 
-func (e *Engine) startService() {
-	e.busy = true
-	svcTime := e.queue[e.qhead].svc.Sample(e.rng)
-	e.scheduleEv(e.now+svcTime, evServiceDone, 0, 0, 0, 0)
+func (e *Engine) startService(sti int32) {
+	st := &e.stations[sti]
+	st.busy = true
+	m := &st.queue[st.qhead]
+	var svcTime float64
+	if st.batch != nil {
+		if ex, ok := m.svc.(dist.Exponential); ok {
+			svcTime = st.batch.Exp() / ex.Lambda
+		} else {
+			svcTime = m.svc.Sample(st.rng)
+		}
+	} else {
+		svcTime = m.svc.Sample(st.rng)
+	}
+	e.scheduleEv(e.now+svcTime, evServiceDone, sti, 0, 0, 0)
 }
 
-func (e *Engine) completeService() {
-	m := e.queue[e.qhead]
-	e.queue[e.qhead] = message{} // release for GC
-	e.qhead++
+func (e *Engine) completeService(sti int32) {
+	st := &e.stations[sti]
+	m := st.queue[st.qhead]
+	st.queue[st.qhead] = message{} // release for GC
+	st.qhead++
 	// Compact once the dead prefix dominates.
-	if e.qhead > 64 && e.qhead*2 > len(e.queue) {
-		n := copy(e.queue, e.queue[e.qhead:])
-		e.queue = e.queue[:n]
-		e.qhead = 0
+	if st.qhead > 64 && st.qhead*2 > len(st.queue) {
+		n := copy(st.queue, st.queue[st.qhead:])
+		st.queue = st.queue[:n]
+		st.qhead = 0
 	}
 	e.departures++
-	e.meas.onDeparture(e.now, e.now-m.arrival, e.QueueLen(), m.class)
-	if e.served != nil {
-		e.served(m.class)
+	st.departures++
+	st.meas.onDeparture(e.now, e.now-m.arrival, st.qlen(), m.class)
+	if st.served != nil {
+		st.served(m.class)
 	}
-	if e.QueueLen() > 0 {
-		e.startService()
+	if st.qlen() > 0 {
+		e.startService(sti)
 	} else {
-		e.busy = false
+		st.busy = false
 	}
 }
 
 // SetServedHook registers a callback fired after every service completion
-// (before the next service starts). Sources that react to completions —
-// request/response exchanges — use this.
-func (e *Engine) SetServedHook(f func(class int)) { e.served = f }
-
-// SetUsers records the current user population (called by sources).
-func (e *Engine) SetUsers(n int) {
-	e.users = n
-	e.meas.onPopulation(e.now, e.users, e.apps)
+// at the hook's station (before the next service starts). Sources that
+// react to completions — request/response exchanges — use this; the hook
+// binds to the station the source installing it is bound to.
+func (e *Engine) SetServedHook(f func(class int)) {
+	e.stations[e.installStation].served = f
 }
 
-// SetApps records the current application population (called by sources).
+// SetUsers records the current user population at station 0 (legacy
+// single-station API; station-bound sources use addUsers).
+func (e *Engine) SetUsers(n int) {
+	st := &e.stations[0]
+	e.users += n - st.users
+	st.users = n
+	st.meas.onPopulation(e.now, st.users, st.apps)
+}
+
+// SetApps records the current application population at station 0.
 func (e *Engine) SetApps(n int) {
-	e.apps = n
-	e.meas.onPopulation(e.now, e.users, e.apps)
+	st := &e.stations[0]
+	e.apps += n - st.apps
+	st.apps = n
+	st.meas.onPopulation(e.now, st.users, st.apps)
+}
+
+// addUsers adjusts the given station's user population (called by
+// station-bound sources).
+func (e *Engine) addUsers(sti int32, d int) {
+	st := &e.stations[sti]
+	st.users += d
+	e.users += d
+	st.meas.onPopulation(e.now, st.users, st.apps)
+}
+
+// addApps adjusts the given station's application population.
+func (e *Engine) addApps(sti int32, d int) {
+	st := &e.stations[sti]
+	st.apps += d
+	e.apps += d
+	st.meas.onPopulation(e.now, st.users, st.apps)
 }
 
 // Users returns the current user population.
@@ -513,8 +645,11 @@ func (e *Engine) Users() int { return e.users }
 // Apps returns the current application population.
 func (e *Engine) Apps() int { return e.apps }
 
-// Measurements exposes the collected statistics.
-func (e *Engine) Measurements() *Measurements { return e.meas }
+// Measurements exposes station 0's collected statistics.
+func (e *Engine) Measurements() *Measurements { return e.stations[0].meas }
+
+// stationMeas returns the given station's measurements.
+func (e *Engine) stationMeas(sti int32) *Measurements { return e.stations[sti].meas }
 
 // Source generates traffic into an engine.
 type Source interface {

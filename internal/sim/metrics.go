@@ -11,9 +11,17 @@ var (
 	obsEvents = obs.NewRate("hap_sim_events",
 		"Events processed by simulation event loops.")
 	obsQueueDepth = obs.NewGauge("hap_sim_queue_depth",
-		"Messages in system of the most recently sampled engine.")
-	obsHeapSize = obs.NewGauge("hap_sim_event_heap_size",
+		"Messages in system (all stations) of the most recently sampled engine.")
+	// obsSchedPending replaces the pre-calendar-queue hap_sim_event_heap_size
+	// gauge: the scheduler is no longer always a heap, so the family name
+	// describes what is actually measured — pending future events, whichever
+	// structure holds them.
+	obsSchedPending = obs.NewGauge("hap_sim_sched_pending",
 		"Pending future events of the most recently sampled engine.")
+	obsSchedBuckets = obs.NewGauge("hap_sim_sched_buckets",
+		"Calendar-queue buckets of the most recently sampled engine (0 while on the binary heap).")
+	obsStations = obs.NewGauge("hap_sim_stations",
+		"Stations (queue/server pairs) hosted by the most recently sampled engine.")
 	obsArrivals = obs.NewCounter("hap_sim_arrivals_total",
 		"Messages that entered a simulated queue.")
 	obsDepartures = obs.NewCounter("hap_sim_departures_total",
@@ -44,6 +52,8 @@ func (e *Engine) flushObs() {
 		obsDepartures.Add(d)
 		e.obsDepFlushed = e.departures
 	}
-	obsQueueDepth.Set(int64(e.QueueLen()))
-	obsHeapSize.Set(int64(len(e.events)))
+	obsQueueDepth.Set(int64(e.totalQueueLen()))
+	obsSchedPending.Set(int64(e.events.len()))
+	obsSchedBuckets.Set(int64(e.events.buckets()))
+	obsStations.Set(int64(len(e.stations)))
 }

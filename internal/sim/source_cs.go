@@ -30,6 +30,7 @@ type CSSource struct {
 	rng       *rand.Rand
 	e         *Engine
 	id        int32
+	st        int32
 	users     table
 	apps      table
 	svcReq    []dist.Distribution
@@ -68,6 +69,7 @@ func (s *CSSource) String() string { return fmt.Sprintf("hap-cs(%s)", s.Model.Na
 func (s *CSSource) Install(e *Engine) {
 	s.e = e
 	s.id = e.registerCS(s)
+	s.st = e.installStation
 	e.SetServedHook(s.onServed)
 	if s.StartStationary {
 		nu := s.Model.Nu()
@@ -85,7 +87,7 @@ func (s *CSSource) userArrive() {
 
 func (s *CSSource) addUser() {
 	slot, gen := s.users.add(0)
-	s.e.SetUsers(s.e.Users() + 1)
+	s.e.addUsers(s.st, 1)
 	s.e.scheduleEvAfter(s.rng.ExpFloat64()/s.Model.Mu, evCSUserDepart, s.id, slot, gen, 0)
 	for i := range s.Model.Apps {
 		s.scheduleSpawn(slot, gen, int32(i))
@@ -97,7 +99,7 @@ func (s *CSSource) userDepart(slot, gen int32) {
 		return
 	}
 	s.users.kill(slot)
-	s.e.SetUsers(s.e.Users() - 1)
+	s.e.addUsers(s.st, -1)
 }
 
 func (s *CSSource) scheduleSpawn(slot, gen, ti int32) {
@@ -114,7 +116,7 @@ func (s *CSSource) spawn(slot, gen, ti int32) {
 
 func (s *CSSource) addApp(ti int32) {
 	slot, gen := s.apps.add(ti)
-	s.e.SetApps(s.e.Apps() + 1)
+	s.e.addApps(s.st, 1)
 	s.e.scheduleEvAfter(s.rng.ExpFloat64()/s.Model.Apps[ti].Mu, evCSAppDepart, s.id, slot, gen, 0)
 	base := s.typeStart[ti]
 	for j := range s.Model.Apps[ti].Messages {
@@ -127,7 +129,7 @@ func (s *CSSource) appDepart(slot, gen int32) {
 		return
 	}
 	s.apps.kill(slot)
-	s.e.SetApps(s.e.Apps() - 1)
+	s.e.addApps(s.st, -1)
 }
 
 // scheduleOpen arms the exchange-opening clock for flattened message type k
@@ -145,11 +147,11 @@ func (s *CSSource) open(slot, gen, k int32) {
 }
 
 func (s *CSSource) sendRequest(k int32) {
-	s.e.ArriveMessage(s.svcReq[k], int(2*k))
+	s.e.arriveInto(s.st, s.svcReq[k], int(2*k))
 }
 
 func (s *CSSource) sendResponse(k int32) {
-	s.e.ArriveMessage(s.svcResp[k], int(2*k+1))
+	s.e.arriveInto(s.st, s.svcResp[k], int(2*k+1))
 }
 
 // onServed continues the exchange: served request → maybe response;

@@ -21,6 +21,7 @@ type CBRSource struct {
 	rng *rand.Rand
 	e   *Engine
 	id  int32
+	st  int32
 }
 
 // NewCBRSource builds a constant-rate source with one message every
@@ -38,6 +39,7 @@ func (s *CBRSource) String() string { return fmt.Sprintf("cbr(interval=%g)", s.I
 func (s *CBRSource) Install(e *Engine) {
 	s.e = e
 	s.id = e.registerCBR(s)
+	s.st = e.installStation
 	e.scheduleEvAfter(s.Phase+s.nextGap(), evCBREmit, s.id, 0, 0, 0)
 }
 
@@ -53,7 +55,7 @@ func (s *CBRSource) nextGap() float64 {
 }
 
 func (s *CBRSource) emit() {
-	s.e.ArriveMessage(s.Svc, s.Class)
+	s.e.arriveInto(s.st, s.Svc, s.Class)
 	s.e.scheduleEvAfter(s.nextGap(), evCBREmit, s.id, 0, 0, 0)
 }
 

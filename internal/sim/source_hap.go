@@ -28,8 +28,10 @@ type HAPSource struct {
 	ServiceOverride dist.Distribution
 
 	rng   *rand.Rand
+	eb    *dist.ExpBatch // batched reader over rng, armed at end of Install
 	e     *Engine
 	id    int32
+	st    int32 // station this source feeds
 	users table
 	apps  table
 	svc   [][]dist.Distribution // [appType][msgType]
@@ -66,6 +68,7 @@ func (s *HAPSource) String() string { return fmt.Sprintf("hap(%s)", s.Model) }
 func (s *HAPSource) Install(e *Engine) {
 	s.e = e
 	s.id = e.registerHAP(s)
+	s.st = e.installStation
 	if s.StartStationary {
 		nUsers := dist.PoissonSample(s.rng, s.Model.Nu())
 		for k := 0; k < nUsers; k++ {
@@ -87,9 +90,19 @@ func (s *HAPSource) Install(e *Engine) {
 		}
 	}
 	s.e.scheduleEvAfter(s.exp(s.Model.Lambda), evHAPUserArrive, s.id, 0, 0, 0)
+	// From here on every draw this source takes from its stream is
+	// exponential, so a block-refilled reader yields the identical
+	// sequence (see dist.ExpBatch). Armed last so the install-time mix of
+	// uniform (PoissonSample) and exponential draws above stays direct.
+	s.eb = dist.NewExpBatch(s.rng)
 }
 
-func (s *HAPSource) exp(rate float64) float64 { return s.rng.ExpFloat64() / rate }
+func (s *HAPSource) exp(rate float64) float64 {
+	if s.eb != nil {
+		return s.eb.Exp() / rate
+	}
+	return s.rng.ExpFloat64() / rate
+}
 
 func (s *HAPSource) userArrive() {
 	s.addUser()
@@ -99,7 +112,7 @@ func (s *HAPSource) userArrive() {
 // addUser creates a live user with its departure and per-type spawn clocks.
 func (s *HAPSource) addUser() {
 	slot, gen := s.users.add(0)
-	s.e.SetUsers(s.e.Users() + 1)
+	s.e.addUsers(s.st, 1)
 	s.e.scheduleEvAfter(s.exp(s.Model.Mu), evHAPUserDepart, s.id, slot, gen, 0)
 	for i := range s.Model.Apps {
 		s.scheduleSpawn(slot, gen, int32(i))
@@ -111,7 +124,7 @@ func (s *HAPSource) userDepart(slot, gen int32) {
 		return
 	}
 	s.users.kill(slot)
-	s.e.SetUsers(s.e.Users() - 1)
+	s.e.addUsers(s.st, -1)
 }
 
 func (s *HAPSource) scheduleSpawn(slot, gen, ti int32) {
@@ -132,7 +145,7 @@ func (s *HAPSource) spawn(slot, gen, ti int32) {
 // per-message-type emission clocks.
 func (s *HAPSource) addApp(ti int32) {
 	slot, gen := s.apps.add(ti)
-	s.e.SetApps(s.e.Apps() + 1)
+	s.e.addApps(s.st, 1)
 	s.e.scheduleEvAfter(s.exp(s.Model.Apps[ti].Mu), evHAPAppDepart, s.id, slot, gen, 0)
 	for j := range s.Model.Apps[ti].Messages {
 		s.scheduleEmit(slot, gen, ti, int32(j))
@@ -144,7 +157,7 @@ func (s *HAPSource) appDepart(slot, gen int32) {
 		return
 	}
 	s.apps.kill(slot)
-	s.e.SetApps(s.e.Apps() - 1)
+	s.e.addApps(s.st, -1)
 }
 
 func (s *HAPSource) scheduleEmit(slot, gen, ti, j int32) {
@@ -161,7 +174,7 @@ func (s *HAPSource) emit(slot, gen, j int32) {
 	if s.ServiceOverride != nil {
 		svc = s.ServiceOverride
 	}
-	s.e.ArriveMessage(svc, s.cls[ti][j])
+	s.e.arriveInto(s.st, svc, s.cls[ti][j])
 	s.scheduleEmit(slot, gen, ti, j)
 }
 
@@ -171,8 +184,10 @@ type PoissonSource struct {
 	Rate float64
 	Svc  dist.Distribution
 	rng  *rand.Rand
+	eb   *dist.ExpBatch
 	e    *Engine
 	id   int32
+	st   int32
 }
 
 // NewPoissonSource builds the baseline source.
@@ -185,16 +200,19 @@ func NewPoissonSource(rate float64, svc dist.Distribution, rng *rand.Rand) *Pois
 
 func (s *PoissonSource) String() string { return fmt.Sprintf("poisson(rate=%g)", s.Rate) }
 
-// Install schedules the first arrival.
+// Install schedules the first arrival. Every draw a Poisson source takes
+// is exponential, so its stream is batched from the very first draw.
 func (s *PoissonSource) Install(e *Engine) {
 	s.e = e
 	s.id = e.registerPoisson(s)
-	e.scheduleEvAfter(s.rng.ExpFloat64()/s.Rate, evPoissonArrive, s.id, 0, 0, 0)
+	s.st = e.installStation
+	s.eb = dist.NewExpBatch(s.rng)
+	e.scheduleEvAfter(s.eb.Exp()/s.Rate, evPoissonArrive, s.id, 0, 0, 0)
 }
 
 func (s *PoissonSource) arrive() {
-	s.e.ArriveMessage(s.Svc, 0)
-	s.e.scheduleEvAfter(s.rng.ExpFloat64()/s.Rate, evPoissonArrive, s.id, 0, 0, 0)
+	s.e.arriveInto(s.st, s.Svc, 0)
+	s.e.scheduleEvAfter(s.eb.Exp()/s.Rate, evPoissonArrive, s.id, 0, 0, 0)
 }
 
 // OnOffSource simulates the 2-level HAP / ON-OFF model: calls arrive
@@ -204,8 +222,10 @@ type OnOffSource struct {
 	TL              *core.TwoLevel
 	StartStationary bool
 	rng             *rand.Rand
+	eb              *dist.ExpBatch
 	e               *Engine
 	id              int32
+	st              int32
 	calls           table
 	svc             dist.Distribution
 }
@@ -226,23 +246,33 @@ func (s *OnOffSource) String() string {
 func (s *OnOffSource) Install(e *Engine) {
 	s.e = e
 	s.id = e.registerOnOff(s)
+	s.st = e.installStation
 	if s.StartStationary {
 		for k := 0; k < dist.PoissonSample(s.rng, s.TL.Nu()); k++ {
 			s.addCall()
 		}
 	}
-	e.scheduleEvAfter(s.rng.ExpFloat64()/s.TL.Lambda, evOnOffArrive, s.id, 0, 0, 0)
+	e.scheduleEvAfter(s.exp(s.TL.Lambda), evOnOffArrive, s.id, 0, 0, 0)
+	// Post-install draws are all exponential; see HAPSource.Install.
+	s.eb = dist.NewExpBatch(s.rng)
+}
+
+func (s *OnOffSource) exp(rate float64) float64 {
+	if s.eb != nil {
+		return s.eb.Exp() / rate
+	}
+	return s.rng.ExpFloat64() / rate
 }
 
 func (s *OnOffSource) callArrive() {
 	s.addCall()
-	s.e.scheduleEvAfter(s.rng.ExpFloat64()/s.TL.Lambda, evOnOffArrive, s.id, 0, 0, 0)
+	s.e.scheduleEvAfter(s.exp(s.TL.Lambda), evOnOffArrive, s.id, 0, 0, 0)
 }
 
 func (s *OnOffSource) addCall() {
 	slot, gen := s.calls.add(0)
-	s.e.SetUsers(s.e.Users() + 1)
-	s.e.scheduleEvAfter(s.rng.ExpFloat64()/s.TL.Mu, evOnOffDepart, s.id, slot, gen, 0)
+	s.e.addUsers(s.st, 1)
+	s.e.scheduleEvAfter(s.exp(s.TL.Mu), evOnOffDepart, s.id, slot, gen, 0)
 	s.scheduleEmit(slot, gen)
 }
 
@@ -251,17 +281,17 @@ func (s *OnOffSource) callDepart(slot, gen int32) {
 		return
 	}
 	s.calls.kill(slot)
-	s.e.SetUsers(s.e.Users() - 1)
+	s.e.addUsers(s.st, -1)
 }
 
 func (s *OnOffSource) scheduleEmit(slot, gen int32) {
-	s.e.scheduleEvAfter(s.rng.ExpFloat64()/s.TL.MsgLambda, evOnOffEmit, s.id, slot, gen, 0)
+	s.e.scheduleEvAfter(s.exp(s.TL.MsgLambda), evOnOffEmit, s.id, slot, gen, 0)
 }
 
 func (s *OnOffSource) emit(slot, gen int32) {
 	if !s.calls.ok(slot, gen) {
 		return
 	}
-	s.e.ArriveMessage(s.svc, 0)
+	s.e.arriveInto(s.st, s.svc, 0)
 	s.scheduleEmit(slot, gen)
 }

@@ -23,6 +23,7 @@ type MMPPSource struct {
 	rng   *rand.Rand
 	e     *Engine
 	id    int32
+	st    int32
 	state int
 	gen   int32
 }
@@ -40,6 +41,7 @@ func (s *MMPPSource) String() string {
 func (s *MMPPSource) Install(e *Engine) {
 	s.e = e
 	s.id = e.registerMMPP(s)
+	s.st = e.installStation
 	s.state = s.Start
 	if s.StartStationary {
 		if pi, err := s.Proc.Stationary(); err == nil {
@@ -100,7 +102,7 @@ func (s *MMPPSource) arrive(gen int32) {
 	if gen != s.gen {
 		return
 	}
-	s.e.ArriveMessage(s.Svc, 0)
+	s.e.arriveInto(s.st, s.Svc, 0)
 	s.scheduleArrival()
 }
 

@@ -1,21 +1,41 @@
-// Command benchgate is the `make bench-gate` allocation-regression check:
-// it extracts allocs/op for a benchmark from two `go test -json` capture
-// files (the committed baseline and a fresh run) and fails when the fresh
-// number regresses past the tolerance. The event loop's zero-allocation
-// steady state is a load-bearing property — a slipped allocs/op means a
-// hot-path allocation crept in, which a timing benchmark alone would
-// drown in noise.
+// Command benchgate is the `make bench-gate` performance-regression check.
+// It reads `go test -json` benchmark captures and enforces two gates:
 //
-// Tolerance calibration: the event loop allocates only per *run* (heap,
-// measurement buffers), never per event, so an allocs/op regression from
-// a hot-path allocation shows up as millions (once per simulated event),
-// not percent. The slack therefore only needs to absorb the one-shot
-// (-benchtime=1x) measurement's cross-session runtime noise, observed at
-// up to ~1.3x on an identical tree; 1.5x keeps the gate quiet on noise
-// while any real per-event allocation still exceeds it by four orders of
+//  1. Allocation anchor: allocs/op of the gated benchmark in the current
+//     capture must stay within slack of the committed BENCH_baseline.json.
+//     The event loop's zero-allocation steady state is a load-bearing
+//     property — a slipped allocs/op means a hot-path allocation crept in,
+//     which a timing benchmark alone would drown in noise.
+//  2. Per-PR trajectory: every benchmark present in both the previous PR's
+//     capture (BENCH_pr<N-1>.json) and the current one (BENCH_pr<N>.json)
+//     is compared on allocs/op (same slack as the anchor) and on its
+//     events/s metric, which may not drop below (1 - tolerance) of the
+//     previous capture.
+//
+// The current and previous captures are discovered by scanning the working
+// directory for BENCH_pr<N>.json files: the highest N is "current", the
+// second highest is "previous" (falling back to the baseline when only one
+// exists). -current/-prev override the discovery.
+//
+// Tolerance calibration, allocs/op: the event loop allocates only per
+// *run* (scheduler, measurement buffers), never per event, so a hot-path
+// allocation shows up as millions of allocs/op (once per simulated event),
+// not percent. The 1.5x slack absorbs one-shot (-benchtime=1x)
+// cross-session noise, observed at up to ~1.3x on an identical tree,
+// while a real per-event allocation overshoots it by four orders of
 // magnitude.
 //
-//	go run ./scripts/benchgate -baseline BENCH_baseline.json -current BENCH_pr5.json
+// Tolerance calibration, events/s: the captures are one-shot measurements
+// on shared, sometimes single-core runners, where identical trees have
+// been observed up to ~1.5x apart between sessions (CPU contention,
+// frequency scaling). The default tolerance of 0.5 therefore gates
+// *collapse-scale* regressions — an accidentally quadratic scheduler, a
+// per-event allocation, a serialization bug — not percent-level drift;
+// percent-level claims need seconds-scale -benchtime runs on a quiet
+// machine, which CI does not have.
+//
+//	go run ./scripts/benchgate                  # auto-discover captures
+//	go run ./scripts/benchgate -current BENCH_pr6.json -prev BENCH_pr5.json
 package main
 
 import (
@@ -25,51 +45,166 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 )
 
 func main() {
 	var (
-		baseline = flag.String("baseline", "BENCH_baseline.json", "committed go test -json capture")
-		current  = flag.String("current", "BENCH_pr5.json", "fresh go test -json capture")
-		bench    = flag.String("bench", "BenchmarkSimulatorHAPEvents", "benchmark whose allocs/op is gated")
-		slack    = flag.Float64("slack", 1.5, "multiplicative tolerance on the baseline")
-		headroom = flag.Int64("headroom", 32, "additive tolerance on the baseline (absorbs one-time setup drift)")
+		baseline  = flag.String("baseline", "BENCH_baseline.json", "committed go test -json capture anchoring the allocs/op gate")
+		prev      = flag.String("prev", "", "previous PR's capture for the trajectory gate (default: second-newest BENCH_pr<N>.json, else the baseline)")
+		current   = flag.String("current", "", "fresh capture under test (default: newest BENCH_pr<N>.json)")
+		bench     = flag.String("bench", "BenchmarkSimulatorHAPEvents", "benchmark whose allocs/op is anchored against the baseline")
+		slack     = flag.Float64("slack", 1.5, "multiplicative allocs/op tolerance")
+		headroom  = flag.Int64("headroom", 32, "additive allocs/op tolerance (absorbs one-time setup drift)")
+		tolerance = flag.Float64("tolerance", 0.5, "maximum fractional events/s drop versus the previous capture")
 	)
 	flag.Parse()
-	if err := run(*baseline, *current, *bench, *slack, *headroom); err != nil {
+	if err := run(*baseline, *prev, *current, *bench, *slack, *headroom, *tolerance); err != nil {
 		fmt.Fprintln(os.Stderr, "bench-gate:", err)
 		os.Exit(1)
 	}
 }
 
-func run(baseline, current, bench string, slack float64, headroom int64) error {
-	base, err := allocsPerOp(baseline, bench)
+func run(baseline, prev, current, bench string, slack float64, headroom int64, tolerance float64) error {
+	if current == "" || prev == "" {
+		discCur, discPrev, err := discover(baseline)
+		if err != nil {
+			return err
+		}
+		if current == "" {
+			current = discCur
+		}
+		if prev == "" {
+			prev = discPrev
+		}
+	}
+	fmt.Printf("bench-gate: baseline %s, previous %s, current %s\n", baseline, prev, current)
+
+	base, err := parseCapture(baseline)
 	if err != nil {
 		return err
 	}
-	cur, err := allocsPerOp(current, bench)
+	prevRes, err := parseCapture(prev)
 	if err != nil {
 		return err
 	}
-	limit := int64(float64(base)*slack) + headroom
-	if cur > limit {
+	cur, err := parseCapture(current)
+	if err != nil {
+		return err
+	}
+
+	// Gate 1: allocs/op anchored against the committed baseline.
+	b, ok := base[bench]
+	if !ok || !b.hasAllocs {
+		return fmt.Errorf("%s: no allocs/op for %s (was the capture taken with -benchmem or ReportAllocs?)", baseline, bench)
+	}
+	c, ok := cur[bench]
+	if !ok || !c.hasAllocs {
+		return fmt.Errorf("%s: no allocs/op for %s", current, bench)
+	}
+	limit := int64(float64(b.allocs)*slack) + headroom
+	if c.allocs > limit {
 		return fmt.Errorf("%s allocs/op regressed: %d > limit %d (baseline %d, slack %.2fx+%d)",
-			bench, cur, limit, base, slack, headroom)
+			bench, c.allocs, limit, b.allocs, slack, headroom)
 	}
-	fmt.Printf("bench-gate: ok — %s at %d allocs/op (baseline %d, limit %d)\n", bench, cur, base, limit)
+	fmt.Printf("bench-gate: ok — %s at %d allocs/op (baseline %d, limit %d)\n", bench, c.allocs, b.allocs, limit)
+
+	// Gate 2: trajectory versus the previous PR's capture.
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	checked := 0
+	for _, name := range names {
+		p, ok := prevRes[name]
+		if !ok {
+			continue // new benchmark this PR: no history to compare
+		}
+		c := cur[name]
+		if p.hasAllocs && c.hasAllocs {
+			limit := int64(float64(p.allocs)*slack) + headroom
+			if c.allocs > limit {
+				return fmt.Errorf("trajectory: %s allocs/op regressed vs %s: %d > limit %d (prev %d)",
+					name, prev, c.allocs, limit, p.allocs)
+			}
+			checked++
+		}
+		if p.hasEvents && c.hasEvents && p.events > 0 {
+			floor := p.events * (1 - tolerance)
+			if c.events < floor {
+				return fmt.Errorf("trajectory: %s events/s collapsed vs %s: %.4g < floor %.4g (prev %.4g, tolerance %.0f%%)",
+					name, prev, c.events, floor, p.events, tolerance*100)
+			}
+			fmt.Printf("bench-gate: ok — %s at %.4g events/s (prev %.4g, floor %.4g)\n",
+				name, c.events, p.events, floor)
+			checked++
+		}
+	}
+	if checked == 0 {
+		return fmt.Errorf("trajectory: no benchmark common to %s and %s carries allocs/op or events/s", prev, current)
+	}
+	fmt.Printf("bench-gate: ok — %d trajectory checks against %s\n", checked, prev)
 	return nil
 }
 
-// allocsPerOp scans a go test -json stream for the benchmark's result
-// line ("...\t  60268217 ns/op\t ... \t     163 allocs/op").
-func allocsPerOp(path, bench string) (int64, error) {
+var prFile = regexp.MustCompile(`^BENCH_pr(\d+)\.json$`)
+
+// discover scans the working directory for BENCH_pr<N>.json captures and
+// returns (newest, second-newest); with a single capture the previous
+// falls back to the baseline.
+func discover(baseline string) (current, prev string, err error) {
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		return "", "", err
+	}
+	type pr struct {
+		n    int
+		name string
+	}
+	var prs []pr
+	for _, e := range entries {
+		if m := prFile.FindStringSubmatch(e.Name()); m != nil {
+			n, _ := strconv.Atoi(m[1])
+			prs = append(prs, pr{n, e.Name()})
+		}
+	}
+	if len(prs) == 0 {
+		return "", "", fmt.Errorf("no BENCH_pr<N>.json capture found (run `make bench` first)")
+	}
+	sort.Slice(prs, func(i, j int) bool { return prs[i].n > prs[j].n })
+	current = prs[0].name
+	prev = baseline
+	if len(prs) > 1 {
+		prev = prs[1].name
+	}
+	return current, prev, nil
+}
+
+// result is one benchmark's extracted numbers.
+type result struct {
+	allocs    int64
+	events    float64
+	hasAllocs bool
+	hasEvents bool
+}
+
+var (
+	allocsRe = regexp.MustCompile(`(\d+) allocs/op`)
+	eventsRe = regexp.MustCompile(`([0-9.]+(?:e[+-]?[0-9]+)?) events/s`)
+)
+
+// parseCapture extracts every benchmark's allocs/op and events/s from a
+// go test -json stream ("...\t 60268217 ns/op\t 5332766 events/s\t ...
+// 163 allocs/op"). Sub-benchmarks keep their full slash-joined names.
+func parseCapture(path string) (map[string]result, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	defer f.Close()
-	re := regexp.MustCompile(`(\d+) allocs/op`)
+	out := map[string]result{}
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
@@ -81,21 +216,29 @@ func allocsPerOp(path, bench string) (int64, error) {
 		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
 			continue // tolerate non-JSON noise in the capture
 		}
-		if ev.Action != "output" || ev.Test != bench {
+		if ev.Action != "output" || ev.Test == "" {
 			continue
 		}
-		m := re.FindStringSubmatch(ev.Output)
-		if m == nil {
-			continue
+		r := out[ev.Test]
+		if m := allocsRe.FindStringSubmatch(ev.Output); m != nil {
+			if n, err := strconv.ParseInt(m[1], 10, 64); err == nil {
+				r.allocs, r.hasAllocs = n, true
+			}
 		}
-		n, err := strconv.ParseInt(m[1], 10, 64)
-		if err != nil {
-			return 0, fmt.Errorf("%s: bad allocs/op in %q: %w", path, ev.Output, err)
+		if m := eventsRe.FindStringSubmatch(ev.Output); m != nil {
+			if v, err := strconv.ParseFloat(m[1], 64); err == nil {
+				r.events, r.hasEvents = v, true
+			}
 		}
-		return n, nil
+		if r.hasAllocs || r.hasEvents {
+			out[ev.Test] = r
+		}
 	}
 	if err := sc.Err(); err != nil {
-		return 0, fmt.Errorf("%s: %w", path, err)
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	return 0, fmt.Errorf("%s: no allocs/op line for %s (was the capture taken with -benchmem?)", path, bench)
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results found", path)
+	}
+	return out, nil
 }

@@ -23,6 +23,8 @@ import (
 var required = []string{
 	"hap_sim_events_total",
 	"hap_sim_queue_depth",
+	"hap_sim_sched_pending",
+	"hap_sim_stations",
 	"hap_solver_iterations_total",
 	"hap_netgen_packets_sent_total",
 }
