@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test ci fmt vet race race-all bench-smoke bench bench-pr6 bench-gate baseline metrics-smoke fit-smoke shard-smoke
+.PHONY: all build test ci fmt vet race race-all bench-smoke bench bench-pr7 bench-gate fit-bench baseline metrics-smoke fit-smoke shard-smoke
 
 all: build test
 
@@ -55,16 +55,27 @@ fit-smoke:
 bench-smoke:
 	$(GO) test -bench=SimulatorHAP -benchtime=1x -run '^$$' .
 
-# bench captures a fresh full benchmark sweep as BENCH_pr6.json (same
+# bench captures a fresh full benchmark sweep as BENCH_pr7.json (same
 # go-test-json schema as BENCH_baseline.json) and runs the gate: allocs/op
-# against the committed baseline, plus the per-PR trajectory (allocs/op and
-# events/s) against the previous capture, BENCH_pr5.json. The gate
-# auto-discovers the newest BENCH_pr<N>.json as current and the one before
-# it as previous; see scripts/benchgate for the tolerance calibration.
-bench: bench-pr6 bench-gate
+# against the committed baseline, plus the per-PR trajectory (allocs/op,
+# events/s and arrivals/s) against the previous capture, BENCH_pr6.json.
+# The gate auto-discovers the newest BENCH_pr<N>.json as current and the
+# one before it as previous; see scripts/benchgate for the tolerance
+# calibration.
+bench: bench-pr7 bench-gate
 
-bench-pr6:
-	$(GO) test -bench . -benchtime=1x -run '^$$' -json . > BENCH_pr6.json
+bench-pr7:
+	$(GO) test -bench . -benchtime=1x -run '^$$' -json . > BENCH_pr7.json
+
+# fit-bench re-measures just the fitter throughput benchmarks
+# (BenchmarkFitEM, BenchmarkFitTraceStats) and appends them to the
+# current capture, then re-runs the gate — the arrivals/s floor against
+# the previous PR without paying for the full sweep. The gate keeps the
+# last occurrence of each benchmark, so the append overrides the sweep's
+# numbers.
+fit-bench:
+	$(GO) test -bench 'BenchmarkFit(EM|TraceStats)$$' -benchtime=1x -run '^$$' -json . >> BENCH_pr7.json
+	$(GO) run ./scripts/benchgate
 
 bench-gate:
 	$(GO) run ./scripts/benchgate

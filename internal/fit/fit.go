@@ -56,6 +56,17 @@ type Options struct {
 	// Models restricts the candidate set of Fit ("poisson", "onoff",
 	// "hap", "mmpp2"); empty fits all four.
 	Models []string
+	// Workers bounds the goroutines Fit spreads its model candidates over
+	// (<= 0 selects GOMAXPROCS, 1 runs inline). Candidate results depend
+	// only on the trace and per-model options, so the report is identical
+	// at any worker count.
+	Workers int
+	// Scratch, when non-nil, carries warm-start state across successive
+	// fits: the moment-matching ON-OFF/HAP fitters reuse their decay-rate
+	// grid-search bracket (searching locally around the previous winner
+	// before falling back to the full grid), and the EM fitter reuses its
+	// working arrays. Not safe for concurrent use.
+	Scratch *Scratch
 }
 
 func (o Options) serviceRate(rate float64) float64 {
@@ -123,7 +134,7 @@ func FitOnOff(ts *TraceStats, opt Options) (OnOffFit, error) {
 	start := time.Now()
 	rate := ts.Rate()
 	pts := ts.IDCPoints(opt.minBins())
-	c, a, diag, err := fitExpCovariance(pts, rate, 1)
+	c, a, diag, err := fitExpCovariance(pts, rate, 1, opt.Scratch)
 	if err != nil {
 		recordFitErr("onoff", start, err)
 		return OnOffFit{}, err
@@ -171,7 +182,7 @@ func FitSymmetricHAP(ts *TraceStats, opt Options) (HAPFit, error) {
 	start := time.Now()
 	rate := ts.Rate()
 	pts := ts.IDCPoints(opt.minBins())
-	c, a, diag, err := fitExpCovariance(pts, rate, 2)
+	c, a, diag, err := fitExpCovariance(pts, rate, 2, opt.Scratch)
 	if err != nil {
 		recordFitErr("hap", start, err)
 		return HAPFit{}, err
@@ -225,7 +236,13 @@ func FitSymmetricHAP(ts *TraceStats, opt Options) (HAPFit, error) {
 // followed by golden-section refinement. Points are weighted by their
 // completed-bin count. Returns amplitudes, rates and a Diag with the
 // weighted RMS residual.
-func fitExpCovariance(pts []IDCPoint, rate float64, k int) (c, a []float64, diag haperr.Diag, err error) {
+//
+// When scr carries a warm bracket (a previous fit's accepted rates), the
+// grid search is replaced by a local sweep of ±warmSpan grid steps around
+// the previous winner — the sliding-window refit case, where the knee
+// moves slowly between calls. An inadmissible warm sweep falls back to
+// the full grid, so warm starts change cost, never feasibility.
+func fitExpCovariance(pts []IDCPoint, rate float64, k int, scr *Scratch) (c, a []float64, diag haperr.Diag, err error) {
 	if !(rate > 0) {
 		return nil, nil, diag, haperr.Badf("fit: trace has no measurable rate")
 	}
@@ -265,14 +282,41 @@ func fitExpCovariance(pts []IDCPoint, rate float64, k int) (c, a []float64, diag
 			copy(bestC, cs)
 		}
 	}
-	if k == 1 {
-		for _, a0 := range grid {
-			tryRates([]float64{a0})
+	gridStep := math.Pow(hi/lo, 1/float64(gridN-1))
+	warm := false
+	if scr != nil {
+		if prev := scr.warmRates(k); len(prev) == k {
+			// Local sweep: every combination of prev[j]·step^i,
+			// i ∈ [−warmSpan, warmSpan], clamped to the grid's range.
+			const warmSpan = 2
+			local := func(base float64, i int) float64 {
+				v := base * math.Pow(gridStep, float64(i))
+				return math.Min(math.Max(v, lo), hi)
+			}
+			if k == 1 {
+				for i := -warmSpan; i <= warmSpan; i++ {
+					tryRates([]float64{local(prev[0], i)})
+				}
+			} else {
+				for i := -warmSpan; i <= warmSpan; i++ {
+					for j := -warmSpan; j <= warmSpan; j++ {
+						tryRates([]float64{local(prev[0], i), local(prev[1], j)})
+					}
+				}
+			}
+			warm = !math.IsInf(best, 1)
 		}
-	} else {
-		for i, a0 := range grid {
-			for _, a1 := range grid[i+1:] {
-				tryRates([]float64{a1, a0}) // a1 > a0: fast rate first
+	}
+	if !warm {
+		if k == 1 {
+			for _, a0 := range grid {
+				tryRates([]float64{a0})
+			}
+		} else {
+			for i, a0 := range grid {
+				for _, a1 := range grid[i+1:] {
+					tryRates([]float64{a1, a0}) // a1 > a0: fast rate first
+				}
 			}
 		}
 	}
@@ -280,7 +324,7 @@ func fitExpCovariance(pts []IDCPoint, rate float64, k int) (c, a []float64, diag
 		return nil, nil, diag, haperr.Badf("fit: no admissible %d-exponential covariance fit", k)
 	}
 	// Coordinate-wise golden-section refinement around the grid winner.
-	step := math.Pow(hi/lo, 1/float64(gridN-1))
+	step := gridStep
 	for round := 0; round < 3; round++ {
 		for j := 0; j < k; j++ {
 			lo, hi := bestA[j]/step, bestA[j]*step
@@ -315,13 +359,17 @@ func fitExpCovariance(pts []IDCPoint, rate float64, k int) (c, a []float64, diag
 		}
 	}
 	var wsum float64
+	binsEff := effectiveBins(pts)
 	for i, p := range pts {
-		wsum += effectiveBins(pts)[i] / math.Max(p.IDC*p.IDC, 1)
+		wsum += binsEff[i] / math.Max(p.IDC*p.IDC, 1)
 	}
 	diag = haperr.Diag{
 		Iterations: evals,
 		Residual:   math.Sqrt(best / wsum),
 		Converged:  true,
+	}
+	if scr != nil {
+		scr.setWarmRates(k, bestA)
 	}
 	return bestC, bestA, diag, nil
 }

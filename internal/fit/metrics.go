@@ -26,7 +26,36 @@ var (
 		"Empirical interarrival c² of the most recently fitted trace.")
 	obsFitTime = obs.NewTimer("hap_fit_fit",
 		"Single-model fit wall time.")
+	obsFitRate = obs.NewFloatGauge("hap_fit_arrivals_per_sec",
+		"Arrivals/s throughput of the most recent MMPP2 EM fit (samples used / fit wall time).")
+	obsScratchReuses = obs.NewCounter("hap_fit_scratch_reuses_total",
+		"Fit working buffers served from existing scratch capacity.")
+	obsScratchGrows = obs.NewCounter("hap_fit_scratch_grows_total",
+		"Fit working buffers that had to grow (allocate). A refit loop at steady state stops incrementing this.")
 )
+
+// fitCounters pre-resolves every (model, outcome) child of obsFits:
+// CounterVec.With renders a label key per call, which allocates — too
+// expensive for the zero-allocation warm re-fit path TestFitHotPathAllocs
+// pins. Array-keyed map lookups allocate nothing.
+var fitCounters = func() map[[2]string]*obs.Counter {
+	m := make(map[[2]string]*obs.Counter)
+	for _, model := range []string{"poisson", "onoff", "hap", "mmpp2"} {
+		for _, outcome := range []string{"converged", "not_converged", "bad_parameter", "cancelled", "error"} {
+			m[[2]string{model, outcome}] = obsFits.With(model, outcome)
+		}
+	}
+	return m
+}()
+
+// fitCounter returns the cached child, falling back to With for label
+// values outside the precomputed set.
+func fitCounter(model, outcome string) *obs.Counter {
+	if c, ok := fitCounters[[2]string{model, outcome}]; ok {
+		return c
+	}
+	return obsFits.With(model, outcome)
+}
 
 // fitOutcome classifies a finished fit for the labelled counter.
 func fitOutcome(err error, diag haperr.Diag) string {
@@ -48,7 +77,7 @@ func fitOutcome(err error, diag haperr.Diag) string {
 
 // recordFit publishes one successful fit.
 func recordFit(model string, start time.Time, diag haperr.Diag) {
-	obsFits.With(model, fitOutcome(nil, diag)).Inc()
+	fitCounter(model, fitOutcome(nil, diag)).Inc()
 	if model == "mmpp2" {
 		obsEMIterations.Add(int64(diag.Iterations))
 	}
@@ -57,8 +86,15 @@ func recordFit(model string, start time.Time, diag haperr.Diag) {
 
 // recordFitErr publishes one failed fit.
 func recordFitErr(model string, start time.Time, err error) {
-	obsFits.With(model, fitOutcome(err, haperr.Diag{})).Inc()
+	fitCounter(model, fitOutcome(err, haperr.Diag{})).Inc()
 	obsFitTime.Observe(time.Since(start))
+}
+
+// recordFitRate publishes the most recent EM fit's sample throughput.
+func recordFitRate(samples int, start time.Time) {
+	if d := time.Since(start); d > 0 && samples > 0 {
+		obsFitRate.Set(float64(samples) / d.Seconds())
+	}
 }
 
 // recordTrace publishes the observational side of a fit request.

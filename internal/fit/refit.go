@@ -1,0 +1,54 @@
+package fit
+
+import (
+	"context"
+	"errors"
+
+	"hap/internal/haperr"
+)
+
+// Refitter runs the continuous estimation loop the hapfit -listen path
+// needs: each Refit call takes the timestamps currently retained by a
+// sliding-window TraceStats (TraceConfig.SlideWindow) and re-runs the
+// MMPP2 EM fit, warm-started from the previous window's result and inside
+// a private scratch arena. Because consecutive windows overlap heavily,
+// the warm start typically converges in a handful of iterations, and at
+// steady state (buffers grown, fit converging) a Refit performs zero
+// allocations — the loop can run every N arrivals indefinitely without
+// feeding the garbage collector.
+//
+// A Refitter is not safe for concurrent use. The zero value is ready;
+// set Opt to tune the underlying fitter (Warm and Scratch are managed by
+// the Refitter and overwritten on every call).
+type Refitter struct {
+	// Opt is the EM option template for every re-fit.
+	Opt EMOptions
+
+	scratch Scratch
+	prev    MMPP2Fit
+	warm    bool
+	times   []float64
+}
+
+// Refit re-fits the retained window of ts. Windows shorter than the EM
+// minimum (8 arrivals) return an ErrBadParameter error and leave the
+// warm state untouched; a budget-exhausted fit (ErrNotConverged) still
+// advances the warm state, since its best iterate is the closest
+// available starting point for the next window.
+func (rf *Refitter) Refit(ctx context.Context, ts *TraceStats) (MMPP2Fit, error) {
+	rf.times = ts.WindowTimes(rf.times[:0])
+	opt := rf.Opt
+	opt.Scratch = &rf.scratch
+	opt.Warm = nil
+	if rf.warm {
+		opt.Warm = &rf.prev
+	}
+	f, err := FitMMPP2EM(ctx, rf.times, opt)
+	if err == nil || errors.Is(err, haperr.ErrNotConverged) {
+		rf.prev, rf.warm = f, true
+	}
+	return f, err
+}
+
+// Last returns the most recent usable fit and whether one exists.
+func (rf *Refitter) Last() (MMPP2Fit, bool) { return rf.prev, rf.warm }

@@ -1,0 +1,129 @@
+package fit
+
+import (
+	"math"
+	"sync"
+
+	"hap/internal/haperr"
+)
+
+// Scratch is the fit layer's reusable working memory: the interarrival
+// buffer and the SoA forward/backward/scale/emission arrays the Baum-Welch
+// EM core runs in, plus the moment fitters' warm-start state. A zero
+// Scratch is ready to use; passing the same Scratch to successive fits
+// (EMOptions.Scratch / Options.Scratch) makes the hot path allocation-free
+// once the buffers have grown to the largest trace seen — the property
+// TestFitHotPathAllocs pins and the hap_fit_scratch_* counters report.
+//
+// A Scratch is not safe for concurrent use: parallel multi-start and
+// model-selection runs draw per-worker scratches from an internal pool
+// instead of sharing one (warm-start state is cleared on pooled reuse so
+// results stay a function of the start index alone).
+type Scratch struct {
+	// x holds the interarrival sequence under fit; w/inv/a0/a1 are the
+	// per-sample emission, renormalization-scale and forward buffers of
+	// the EM core (the backward pass is fused into the M step and keeps
+	// no per-sample state).
+	x, w, inv, a0, a1 []float64
+
+	// warm1/warm2 remember the last accepted decay rates of the 1- and
+	// 2-exponential IDC covariance fits; a subsequent fit through the
+	// same Scratch searches a local bracket around them instead of the
+	// full grid (fitExpCovariance).
+	warm1, warm2 []float64
+
+	// warmEM remembers the last accepted EM iterate for Refitter-style
+	// warm starts (nil until a fit succeeds).
+	warmEM *MMPP2Fit
+}
+
+// interarrivals fills s.x with the (capped) interarrival sequence of the
+// sorted timestamps, reusing the buffer across calls. The allocation is
+// sized to the capped count, not len(times)-1 — fitting a 10⁶-arrival
+// trace with the default 2·10⁵ sample cap must not allocate 8 MB.
+func (s *Scratch) interarrivals(times []float64, maxSamples int) ([]float64, error) {
+	if len(times) < 8 {
+		return nil, haperr.Badf("fit: MMPP2 EM needs at least 8 arrivals, got %d", len(times))
+	}
+	// Truncate to a contiguous prefix: EM models the sequence's serial
+	// correlation, which any strided subsample would distort (halving
+	// apparent sojourn lengths doubles the fitted switching rates).
+	n := len(times) - 1
+	if maxSamples > 0 && n > maxSamples {
+		n = maxSamples
+	}
+	s.x = growBuf(s.x, n)
+	for i := 0; i < n; i++ {
+		d := times[i+1] - times[i]
+		if math.IsNaN(d) || math.IsInf(d, 0) || d < 0 {
+			return nil, haperr.Badf("fit: bad interarrival %g at index %d", d, i+1)
+		}
+		s.x[i] = d
+	}
+	return s.x, nil
+}
+
+// emBuffers sizes the EM working arrays for n samples and returns them.
+func (s *Scratch) emBuffers(n int) (w, inv, a0, a1 []float64) {
+	s.w = growBuf(s.w, n)
+	s.inv = growBuf(s.inv, n)
+	s.a0 = growBuf(s.a0, n)
+	s.a1 = growBuf(s.a1, n)
+	return s.w, s.inv, s.a0, s.a1
+}
+
+// growBuf resizes buf to length n, reusing capacity when it suffices.
+// The reuse/grow split is published so an operator can see whether a
+// long-running refit loop has reached its allocation-free steady state.
+func growBuf(buf []float64, n int) []float64 {
+	if cap(buf) >= n {
+		obsScratchReuses.Inc()
+		return buf[:n]
+	}
+	obsScratchGrows.Inc()
+	return make([]float64, n)
+}
+
+// warmRates returns the remembered decay-rate bracket for a k-exponential
+// covariance fit (nil when none or mismatched).
+func (s *Scratch) warmRates(k int) []float64 {
+	switch k {
+	case 1:
+		return s.warm1
+	case 2:
+		return s.warm2
+	}
+	return nil
+}
+
+// setWarmRates records the accepted decay rates for the next fit.
+func (s *Scratch) setWarmRates(k int, rates []float64) {
+	switch k {
+	case 1:
+		s.warm1 = append(s.warm1[:0], rates...)
+	case 2:
+		s.warm2 = append(s.warm2[:0], rates...)
+	}
+}
+
+// resetWarm clears warm-start state while keeping the buffers. Pooled
+// scratches are reset on checkout so parallel fits stay deterministic:
+// buffer contents never influence a result, warm state does.
+func (s *Scratch) resetWarm() {
+	s.warm1 = s.warm1[:0]
+	s.warm2 = s.warm2[:0]
+	s.warmEM = nil
+}
+
+// scratchPool serves per-worker scratches to the parallel multi-start and
+// model-selection paths. Only buffers survive reuse (resetWarm), so a
+// pooled scratch can never leak one fit's warm state into another.
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
+func getScratch() *Scratch {
+	s := scratchPool.Get().(*Scratch)
+	s.resetWarm()
+	return s
+}
+
+func putScratch(s *Scratch) { scratchPool.Put(s) }

@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"hap/internal/haperr"
+	"hap/internal/par"
 )
 
 // Candidate is one fitted model inside a selection report.
@@ -106,11 +107,25 @@ func Fit(ctx context.Context, times []float64, opt Options) (*Report, error) {
 	}
 
 	rep := &Report{Trace: ts.Summary()}
-	for _, name := range models {
-		if err := ctx.Err(); err != nil {
-			return rep, fmt.Errorf("fit: model selection interrupted before %q: %w", name, err)
+	// Candidates are independent, so they fan out over par with the usual
+	// determinism contract: candidate i depends only on (trace, models[i],
+	// options), so the report is bit-identical at any Workers count. Warm
+	// scratch state is deliberately not forwarded — cross-fit warm starts
+	// belong to the single-model refit loop (Refitter), not to a selection
+	// sweep whose candidates may run concurrently.
+	cands := par.MapNCtx(ctx, len(models), opt.Workers, func(i int) Candidate {
+		copt := opt
+		copt.Scratch = nil
+		copt.EM.Scratch = nil
+		return fitCandidate(ctx, models[i], ts, sorted, sample, copt)
+	})
+	for i, cand := range cands {
+		if cand.Name == "" {
+			// MapNCtx skipped this slot: the context was cancelled before
+			// the candidate started.
+			return rep, fmt.Errorf("fit: model selection interrupted before %q: %w", models[i], ctx.Err())
 		}
-		rep.Candidates = append(rep.Candidates, fitCandidate(ctx, name, ts, sorted, sample, opt))
+		rep.Candidates = append(rep.Candidates, cand)
 	}
 
 	// Rank: successful fits by BIC, failures last in attempt order.

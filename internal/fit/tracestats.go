@@ -20,6 +20,13 @@ type TraceConfig struct {
 	// the current busy run and records an idle period. <= 0 disables
 	// busy/idle tracking.
 	GapThreshold float64
+	// SlideWindow, when positive, keeps the last SlideWindow seconds of
+	// raw timestamps in a ring buffer: Slide(t) evicts older arrivals in
+	// O(1) amortised time and WindowTimes hands the retained span to a
+	// Refitter — the hapfit -listen re-fit loop. The cumulative moments
+	// (Welford, IDC ladder, bursts) remain whole-trace; only the refit
+	// feed slides. <= 0 disables retention.
+	SlideWindow float64
 }
 
 // TraceStats is a single-pass accumulator over arrival timestamps: Welford
@@ -48,6 +55,11 @@ type TraceStats struct {
 	bursts     stats.Welford // burst durations
 	burstSizes stats.Welford // arrivals per burst
 	gaps       stats.Welford // idle gap durations
+
+	// Sliding-window retention ring under cfg.SlideWindow (see Slide).
+	ring  []float64
+	head  int // index of the oldest retained timestamp
+	count int // retained timestamps
 }
 
 // windowAcc counts arrivals in consecutive bins of width w; completed bins
@@ -69,6 +81,9 @@ func NewTraceStats(cfg TraceConfig) (*TraceStats, error) {
 			return nil, haperr.Badf("fit: IDC windows must be positive, finite and ascending (got %v)", cfg.Windows)
 		}
 		prev = w
+	}
+	if math.IsNaN(cfg.SlideWindow) || math.IsInf(cfg.SlideWindow, 0) || cfg.SlideWindow < 0 {
+		return nil, haperr.Badf("fit: slide window must be a non-negative finite duration (got %v)", cfg.SlideWindow)
 	}
 	ts := &TraceStats{cfg: cfg, win: make([]windowAcc, len(cfg.Windows))}
 	for i, w := range cfg.Windows {
@@ -100,6 +115,9 @@ func (ts *TraceStats) Add(t float64) error {
 			ts.inBurst = true
 			ts.burstStart = t
 			ts.burstN = 1
+		}
+		if ts.cfg.SlideWindow > 0 {
+			ts.ringPush(t)
 		}
 		return nil
 	}
@@ -133,8 +151,67 @@ func (ts *TraceStats) Add(t float64) error {
 			ts.burstN++
 		}
 	}
+	if ts.cfg.SlideWindow > 0 {
+		ts.ringPush(t)
+	}
 	ts.last = t
 	return nil
+}
+
+// ringPush appends a timestamp to the retention ring, doubling capacity
+// when full. Once the ring has grown to the window's peak occupancy the
+// push is allocation-free — the TestFitHotPathAllocs contract for Add.
+func (ts *TraceStats) ringPush(t float64) {
+	if ts.count == len(ts.ring) {
+		grown := make([]float64, max(64, 2*len(ts.ring)))
+		n := ts.WindowTimes(grown[:0])
+		ts.ring, ts.head, ts.count = grown, 0, len(n)
+	}
+	i := ts.head + ts.count
+	if i >= len(ts.ring) {
+		i -= len(ts.ring)
+	}
+	ts.ring[i] = t
+	ts.count++
+}
+
+// Slide evicts retained timestamps older than t − SlideWindow from the
+// ring. Each eviction is O(1) and every arrival is evicted at most once,
+// so a slide-per-arrival loop stays O(1) amortised regardless of how
+// often it runs. Returns the number of evictions. No-op (0) when
+// retention is disabled.
+func (ts *TraceStats) Slide(t float64) int {
+	if ts.cfg.SlideWindow <= 0 {
+		return 0
+	}
+	cut := t - ts.cfg.SlideWindow
+	evicted := 0
+	for ts.count > 0 && ts.ring[ts.head] < cut {
+		ts.head++
+		if ts.head == len(ts.ring) {
+			ts.head = 0
+		}
+		ts.count--
+		evicted++
+	}
+	return evicted
+}
+
+// WindowN returns the number of timestamps currently retained.
+func (ts *TraceStats) WindowN() int { return ts.count }
+
+// WindowTimes appends the retained timestamps (oldest first) to dst and
+// returns it — at most two copies, allocation-free when dst has capacity.
+func (ts *TraceStats) WindowTimes(dst []float64) []float64 {
+	if ts.count == 0 {
+		return dst
+	}
+	end := ts.head + ts.count
+	if end <= len(ts.ring) {
+		return append(dst, ts.ring[ts.head:end]...)
+	}
+	dst = append(dst, ts.ring[ts.head:]...)
+	return append(dst, ts.ring[:end-len(ts.ring)]...)
 }
 
 // Merge folds another accumulator's completed statistics into ts: the
@@ -142,7 +219,9 @@ func (ts *TraceStats) Add(t float64) error {
 // combine exactly; each trace's possibly-incomplete final bin and burst are
 // dropped, as within a single trace. Configurations must match (same
 // window ladder and gap threshold) or an ErrBadParameter error is
-// returned. Horizons add; timestamps keep their original clocks.
+// returned. Horizons add; timestamps keep their original clocks. The
+// sliding-window retention ring is per-stream (its timestamps live on the
+// source's clock) and is not merged.
 func (ts *TraceStats) Merge(o *TraceStats) error {
 	if len(ts.win) != len(o.win) || ts.cfg.GapThreshold != o.cfg.GapThreshold {
 		return haperr.Badf("fit: merging TraceStats with different configurations")

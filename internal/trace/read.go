@@ -1,6 +1,8 @@
 package trace
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -103,15 +105,135 @@ func ReadCSVFrom(r io.Reader) ([]Series, error) {
 
 // ReadTimestampsFrom parses the first column of CSV data from r — the
 // arrival-timestamp convention hapgen writes and hapfit reads.
+//
+// Unlike ReadCSVFrom it streams: lines are scanned in place out of one
+// reused read buffer, and only the first cell of each data row is parsed,
+// so a multi-million-line trace costs one float64 slice instead of the
+// csv package's per-row string tables. The tolerated dialect is the same
+// (CRLF, blank lines, ragged and whitespace rows, matched surrounding
+// quotes, optional header — the first non-blank row is a header when any
+// of its cells does not parse as a number); cells beyond the first are
+// not validated, which is the point of reading a single column.
 func ReadTimestampsFrom(r io.Reader) ([]float64, error) {
-	cols, err := ReadCSVFrom(r)
-	if err != nil {
-		return nil, err
+	br := bufio.NewReaderSize(r, 64<<10)
+	var out []float64
+	var long []byte // spill buffer for lines longer than the reader's
+	sawRow := false
+	row := 0
+	for {
+		line, err := br.ReadSlice('\n')
+		if err == bufio.ErrBufferFull {
+			long = append(long[:0], line...)
+			for err == bufio.ErrBufferFull {
+				line, err = br.ReadSlice('\n')
+				long = append(long, line...)
+			}
+			line = long
+		}
+		if err != nil && err != io.EOF {
+			return nil, haperr.Badf("trace: read failed (%v)", err)
+		}
+		done := err == io.EOF
+		if cell, blank := firstCell(line); !blank {
+			row++
+			if !sawRow {
+				sawRow = true
+				if rowIsHeader(line) {
+					if done {
+						break
+					}
+					continue
+				}
+			}
+			if len(cell) > 0 {
+				v, perr := strconv.ParseFloat(string(cell), 64)
+				if perr != nil {
+					return nil, haperr.Badf("trace: row %d column 0: %q is not a number", row, cell)
+				}
+				out = append(out, v)
+			}
+		}
+		if done {
+			break
+		}
 	}
-	if len(cols) == 0 || len(cols[0].Values) == 0 {
+	if len(out) == 0 {
 		return nil, haperr.Badf("trace: csv holds no timestamps in its first column")
 	}
-	return cols[0].Values, nil
+	return out, nil
+}
+
+// firstCell returns the first comma-separated cell of line (trimmed, with
+// matched surrounding quotes stripped) and whether the whole row is blank.
+func firstCell(line []byte) (cell []byte, blank bool) {
+	line = trimEOL(line)
+	rest := line
+	if i := bytes.IndexByte(line, ','); i >= 0 {
+		cell, rest = trimCell(line[:i]), line[i+1:]
+	} else {
+		cell, rest = trimCell(line), nil
+	}
+	if len(cell) > 0 {
+		return cell, false
+	}
+	// First cell is empty: the row is blank only if every other cell is.
+	for len(rest) > 0 {
+		var c []byte
+		if i := bytes.IndexByte(rest, ','); i >= 0 {
+			c, rest = trimCell(rest[:i]), rest[i+1:]
+		} else {
+			c, rest = trimCell(rest), nil
+		}
+		if len(c) > 0 {
+			return nil, false
+		}
+	}
+	return nil, true
+}
+
+// rowIsHeader reports whether any non-empty cell of the row fails to
+// parse as a number — the same first-row header heuristic ReadCSVFrom
+// applies.
+func rowIsHeader(line []byte) bool {
+	rest := trimEOL(line)
+	for {
+		var c []byte
+		if i := bytes.IndexByte(rest, ','); i >= 0 {
+			c, rest = trimCell(rest[:i]), rest[i+1:]
+		} else {
+			c, rest = trimCell(rest), nil
+		}
+		if len(c) > 0 {
+			if _, err := strconv.ParseFloat(string(c), 64); err != nil {
+				return true
+			}
+		}
+		if rest == nil {
+			return false
+		}
+	}
+}
+
+// trimEOL strips a trailing LF or CRLF.
+func trimEOL(line []byte) []byte {
+	if n := len(line); n > 0 && line[n-1] == '\n' {
+		line = line[:n-1]
+	}
+	if n := len(line); n > 0 && line[n-1] == '\r' {
+		line = line[:n-1]
+	}
+	return line
+}
+
+// trimCell trims surrounding spaces and one layer of matched quotes —
+// "0.5" parses like 0.5, but a lone or mismatched quote stays literal
+// (so a row like "1,2",3 cannot masquerade as the numeric row 1,2,3).
+func trimCell(c []byte) []byte {
+	c = bytes.TrimSpace(c)
+	if len(c) >= 2 && c[0] == '"' && c[len(c)-1] == '"' {
+		c = bytes.TrimSpace(c[1 : len(c)-1])
+	}
+	return c
 }
 
 // ReadTimestamps reads the first column of the CSV file at path.

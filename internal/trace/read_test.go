@@ -114,3 +114,88 @@ func FuzzReadCSV(f *testing.F) {
 		}
 	})
 }
+
+// TestReadTimestampsFromDialects pins the streaming reader against the
+// same dialect zoo ReadCSVFrom tolerates, including long lines that spill
+// past the read buffer.
+func TestReadTimestampsFromDialects(t *testing.T) {
+	pad := strings.Repeat(" ", 70<<10) // force the ErrBufferFull spill path
+	cases := []struct {
+		name string
+		in   string
+		want []float64
+	}{
+		{"header crlf", "t,idc\r\n\r\n0.5,1.0\r\n1.5,1.1\r\n", []float64{0.5, 1.5}},
+		{"headerless", "1\n2\n3\n", []float64{1, 2, 3}},
+		{"no trailing newline", "1\n2", []float64{1, 2}},
+		{"blank and ragged rows", "a,b\n1,2\n3\n ,\n5,6\n", []float64{1, 3, 5}},
+		{"quoted cells", "\"0.5\",1\n\"1.5\"\n", []float64{0.5, 1.5}},
+		{"quoted header", "\"t\",x\n0.5\n", []float64{0.5}},
+		{"empty first cell kept row", ",7\n2,8\n", []float64{2}},
+		{"long line", "0.5\n1," + pad + "x\n2\n", []float64{0.5, 1, 2}},
+		{"long header", "t," + pad + "name\n3\n", []float64{3}},
+	}
+	for _, tc := range cases {
+		got, err := ReadTimestampsFrom(strings.NewReader(tc.in))
+		if err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+			continue
+		}
+		if len(got) != len(tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, got, tc.want)
+			continue
+		}
+		for i := range tc.want {
+			if got[i] != tc.want[i] {
+				t.Errorf("%s: got %v, want %v", tc.name, got, tc.want)
+				break
+			}
+		}
+	}
+	for _, in := range []string{"", "\n\n", "t\nbogus\n1\n", "1\noops\n"} {
+		if _, err := ReadTimestampsFrom(strings.NewReader(in)); !errors.Is(err, haperr.ErrBadParameter) {
+			t.Errorf("input %q: want ErrBadParameter, got %v", in, err)
+		}
+	}
+}
+
+// FuzzReadTimestamps holds the streaming reader to the ReadCSVFrom
+// contract: never panic, fail only with ErrBadParameter, and — when both
+// readers accept a quote-free input — produce exactly ReadCSVFrom's first
+// column. (Quoted inputs are excluded from the comparison because the csv
+// package's quote dialect is deliberately not replicated.)
+func FuzzReadTimestamps(f *testing.F) {
+	f.Add("t,idc\n0.5,1.0\n")
+	f.Add("1\n2\n3\n")
+	f.Add("a,b\r\n1,2\r\n")
+	f.Add("1,2\n3\n,\n")
+	f.Add("\xff\xfe0,1\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		got, err := ReadTimestampsFrom(strings.NewReader(in))
+		if err != nil {
+			if !errors.Is(err, haperr.ErrBadParameter) {
+				t.Fatalf("non-parameter error %v on input %q", err, in)
+			}
+			return
+		}
+		if len(got) == 0 {
+			t.Fatalf("nil error but no timestamps on input %q", in)
+		}
+		if strings.ContainsAny(in, `"`) {
+			return
+		}
+		cols, cerr := ReadCSVFrom(strings.NewReader(in))
+		if cerr != nil || len(cols) == 0 {
+			return
+		}
+		want := cols[0].Values
+		if len(got) != len(want) {
+			t.Fatalf("first column differs on %q: stream %v, csv %v", in, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] && !(got[i] != got[i] && want[i] != want[i]) {
+				t.Fatalf("first column differs on %q: stream %v, csv %v", in, got, want)
+			}
+		}
+	})
+}

@@ -9,8 +9,9 @@
 //  2. Per-PR trajectory: every benchmark present in both the previous PR's
 //     capture (BENCH_pr<N-1>.json) and the current one (BENCH_pr<N>.json)
 //     is compared on allocs/op (same slack as the anchor) and on its
-//     events/s metric, which may not drop below (1 - tolerance) of the
-//     previous capture.
+//     throughput metrics — events/s for the simulator benchmarks and
+//     arrivals/s for the fitter benchmarks — neither of which may drop
+//     below (1 - tolerance) of the previous capture.
 //
 // The current and previous captures are discovered by scanning the working
 // directory for BENCH_pr<N>.json files: the highest N is "current", the
@@ -141,6 +142,16 @@ func run(baseline, prev, current, bench string, slack float64, headroom int64, t
 				name, c.events, p.events, floor)
 			checked++
 		}
+		if p.hasArrivals && c.hasArrivals && p.arrivals > 0 {
+			floor := p.arrivals * (1 - tolerance)
+			if c.arrivals < floor {
+				return fmt.Errorf("trajectory: %s arrivals/s collapsed vs %s: %.4g < floor %.4g (prev %.4g, tolerance %.0f%%)",
+					name, prev, c.arrivals, floor, p.arrivals, tolerance*100)
+			}
+			fmt.Printf("bench-gate: ok — %s at %.4g arrivals/s (prev %.4g, floor %.4g)\n",
+				name, c.arrivals, p.arrivals, floor)
+			checked++
+		}
 	}
 	if checked == 0 {
 		return fmt.Errorf("trajectory: no benchmark common to %s and %s carries allocs/op or events/s", prev, current)
@@ -184,20 +195,26 @@ func discover(baseline string) (current, prev string, err error) {
 
 // result is one benchmark's extracted numbers.
 type result struct {
-	allocs    int64
-	events    float64
-	hasAllocs bool
-	hasEvents bool
+	allocs      int64
+	events      float64
+	arrivals    float64
+	hasAllocs   bool
+	hasEvents   bool
+	hasArrivals bool
 }
 
 var (
-	allocsRe = regexp.MustCompile(`(\d+) allocs/op`)
-	eventsRe = regexp.MustCompile(`([0-9.]+(?:e[+-]?[0-9]+)?) events/s`)
+	allocsRe   = regexp.MustCompile(`(\d+) allocs/op`)
+	eventsRe   = regexp.MustCompile(`([0-9.]+(?:e[+-]?[0-9]+)?) events/s`)
+	arrivalsRe = regexp.MustCompile(`([0-9.]+(?:e[+-]?[0-9]+)?) arrivals/s`)
 )
 
-// parseCapture extracts every benchmark's allocs/op and events/s from a
-// go test -json stream ("...\t 60268217 ns/op\t 5332766 events/s\t ...
-// 163 allocs/op"). Sub-benchmarks keep their full slash-joined names.
+// parseCapture extracts every benchmark's allocs/op, events/s and
+// arrivals/s from a go test -json stream ("...\t 60268217 ns/op\t
+// 5332766 events/s\t ... 163 allocs/op"). Sub-benchmarks keep their full
+// slash-joined names; when the same benchmark appears more than once in a
+// capture (a targeted re-run appended to the file), the last occurrence
+// of each metric wins.
 func parseCapture(path string) (map[string]result, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -230,7 +247,12 @@ func parseCapture(path string) (map[string]result, error) {
 				r.events, r.hasEvents = v, true
 			}
 		}
-		if r.hasAllocs || r.hasEvents {
+		if m := arrivalsRe.FindStringSubmatch(ev.Output); m != nil {
+			if v, err := strconv.ParseFloat(m[1], 64); err == nil {
+				r.arrivals, r.hasArrivals = v, true
+			}
+		}
+		if r.hasAllocs || r.hasEvents || r.hasArrivals {
 			out[ev.Test] = r
 		}
 	}
