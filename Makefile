@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test ci fmt vet race race-all bench-smoke bench bench-pr7 bench-gate fit-bench baseline metrics-smoke fit-smoke shard-smoke
+.PHONY: all build test ci fmt vet race race-all bench-smoke bench bench-pr7 bench-gate fit-bench baseline metrics-smoke fit-smoke shard-smoke ctrl-smoke
 
 all: build test
 
@@ -12,9 +12,10 @@ test:
 
 # ci is the merge gate: formatting, vet, the race detector over the
 # concurrency-bearing packages, a one-iteration benchmark smoke test, the
-# generate→fit pipeline smoke, the multi-shard determinism smoke, and the
-# benchmark trajectory gate (fresh capture vs the previous PR's).
-ci: fmt vet race bench-smoke fit-smoke shard-smoke bench
+# generate→fit pipeline smoke, the multi-shard determinism smoke, the
+# control-plane smoke, and the benchmark trajectory gate (fresh capture
+# vs the previous PR's).
+ci: fmt vet race bench-smoke fit-smoke shard-smoke ctrl-smoke bench
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -26,7 +27,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/par ./internal/sim ./internal/obs
+	$(GO) test -race ./internal/par ./internal/sim ./internal/obs ./internal/ctrl ./internal/netgen
 
 # race-all runs the whole module under the race detector (the CI race job);
 # -short skips the wall-clock-sensitive netgen delivery assertions, and the
@@ -51,6 +52,12 @@ shard-smoke:
 # selector names "poisson" at the generator's rate.
 fit-smoke:
 	$(GO) run ./scripts/fitsmoke
+
+# ctrl-smoke boots cmd/hapd with one ephemeral stream, feeds a UDP
+# burst, waits for an admission decision on the API, checks the
+# hap_ctrl_* metric families, and asserts SIGTERM drains to exit 0.
+ctrl-smoke:
+	$(GO) run ./scripts/ctrlsmoke
 
 bench-smoke:
 	$(GO) test -bench=SimulatorHAP -benchtime=1x -run '^$$' .

@@ -1,0 +1,103 @@
+// Command hapd is the live traffic control plane daemon: it ingests one
+// or more UDP packet streams, continuously re-fits an MMPP2 over a
+// sliding window of each, re-solves the expected G/M/1 delay with warm
+// starts, evaluates the admission bound, and serves decisions next to
+// /metrics.
+//
+// Serve two streams, a 50/s service rate and a 100 ms delay target:
+//
+//	go run ./cmd/hapd -listen 127.0.0.1:0,127.0.0.1:0 -mu3 50 -target 0.1
+//
+// Point hapgen at a printed stream address, then:
+//
+//	curl http://<api>/v1/streams/s0/admit
+//
+// SIGTERM (or SIGINT) drains: every stream flushes a final fit before
+// the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"hap/internal/ctrl"
+	"hap/internal/fit"
+	"hap/internal/gm1"
+	"hap/internal/haperr"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", "127.0.0.1:0", "comma-separated UDP addresses, one stream each (port 0 picks freely)")
+		httpA   = flag.String("http", "127.0.0.1:0", "decision API + /metrics address")
+		mu3     = flag.Float64("mu3", 0, "message service rate for delay solves and admission (required)")
+		target  = flag.Float64("target", 0, "admission delay target in seconds (required)")
+		fmax    = flag.Float64("fmax", 4, "admission headroom search ceiling")
+		refitN  = flag.Int("refit", 2000, "re-fit each stream every N arrivals")
+		window  = flag.Float64("window", 30, "sliding fit window in seconds")
+		minWin  = flag.Int("min-window", 64, "fewest retained timestamps worth fitting")
+		stale   = flag.Duration("stale", 30*time.Second, "flag decisions whose fit is older than this as degraded (0 disables)")
+		method  = flag.String("method", "bisect", "G/M/1 sigma solver: bisect | paper")
+		emIter  = flag.Int("em-max-iter", 0, "MMPP2 EM iteration budget per refit (0 = default)")
+		timeout = flag.Duration("timeout", 0, "exit after this long (0 = run until signalled)")
+	)
+	flag.Parse()
+	if !(*mu3 > 0) || !(*target > 0) {
+		fmt.Fprintln(os.Stderr, "hapd: -mu3 and -target are required and must be positive")
+		flag.Usage()
+		os.Exit(haperr.ExitUsage)
+	}
+	var sigma gm1.Method
+	switch *method {
+	case "bisect":
+		sigma = gm1.MethodBisect
+	case "paper":
+		sigma = gm1.MethodPaper
+	default:
+		fmt.Fprintf(os.Stderr, "hapd: unknown -method %q\n", *method)
+		os.Exit(haperr.ExitUsage)
+	}
+
+	d, err := ctrl.New(ctrl.Config{
+		ListenAddrs: strings.Split(*listen, ","),
+		HTTPAddr:    *httpA,
+		ServiceRate: *mu3,
+		TargetDelay: *target,
+		FMax:        *fmax,
+		RefitEvery:  *refitN,
+		Window:      *window,
+		MinWindow:   *minWin,
+		StaleAfter:  *stale,
+		Method:      sigma,
+		EM:          fit.EMOptions{MaxIter: *emIter},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hapd:", err)
+		os.Exit(haperr.ExitCode(err))
+	}
+	// The smoke harness parses these lines to find the ephemeral ports.
+	for _, s := range d.Streams() {
+		fmt.Printf("stream %s: udp %s\n", s.ID, s.Addr())
+	}
+	fmt.Printf("api: http://%s\n", d.APIAddr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if err := d.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "hapd:", err)
+		os.Exit(haperr.ExitCode(err))
+	}
+	fmt.Println("hapd: drained")
+}

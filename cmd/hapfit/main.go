@@ -123,7 +123,7 @@ func main() {
 			fatal(err)
 		}
 	} else {
-		times, err = collect(ctx, *listen, *expect, *idle, *refitN, *window, emOpt)
+		times, err = collect(ctx, *listen, *expect, *idle, *refitN, *window, *asJSON, emOpt)
 		if err != nil {
 			fatal(err)
 		}
@@ -174,7 +174,7 @@ func main() {
 // retained timestamps) and re-fits the MMPP2 every refitN arrivals via a
 // warm-started Refitter, reporting each fit on stderr — the continuous
 // estimation loop, allocation-free at steady state.
-func collect(ctx context.Context, listen string, expect int, idle time.Duration, refitN int, window float64, emOpt fit.EMOptions) ([]float64, error) {
+func collect(ctx context.Context, listen string, expect int, idle time.Duration, refitN int, window float64, asJSON bool, emOpt fit.EMOptions) ([]float64, error) {
 	sink, err := netgen.NewSink(listen)
 	if err != nil {
 		return nil, err
@@ -204,13 +204,21 @@ func collect(ctx context.Context, listen string, expect int, idle time.Duration,
 		if len(times)%refitN != 0 || ts.WindowN() < 8 {
 			return
 		}
-		f, err := rf.Refit(ctx, ts)
-		if err != nil && !errors.Is(err, haperr.ErrNotConverged) {
+		if _, err := rf.Refit(ctx, ts); err != nil && !errors.Is(err, haperr.ErrNotConverged) {
 			fmt.Fprintf(os.Stderr, "refit @%d: %v\n", len(times), err)
 			return
 		}
-		fmt.Fprintf(os.Stderr, "refit @%d (%d in window): MMPP2 rates %.4g/%.4g /s, Q01 %.4g, Q10 %.4g (%d iter)\n",
-			len(times), ts.WindowN(), f.Model.R0, f.Model.R1, f.Model.Q01, f.Model.Q10, f.Diag.Iterations)
+		rep := rf.Report(ts)
+		if asJSON {
+			b, _ := json.Marshal(rep)
+			fmt.Fprintf(os.Stderr, "%s\n", b)
+			return
+		}
+		// Window moments first: they describe the data this fit saw. The
+		// cumulative stream moments follow, labelled as such.
+		fmt.Fprintf(os.Stderr, "refit @%d (%d in window, rate %.4g/s c² %.4g; stream rate %.4g/s c² %.4g): MMPP2 rates %.4g/%.4g /s, Q01 %.4g, Q10 %.4g (%d iter)\n",
+			rep.Arrivals, rep.WindowN, rep.WindowRate, rep.WindowC2, rep.CumRate, rep.CumC2,
+			rep.R0, rep.R1, rep.Q01, rep.Q10, rep.Iterations)
 	}
 	fmt.Fprintf(os.Stderr, "listening on %s (ctrl-c to stop and fit what arrived)\n", sink.Addr())
 	st, err := sink.Collect(ctx, expect, idle)

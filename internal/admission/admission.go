@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"hap/internal/core"
+	"hap/internal/gm1"
 	"hap/internal/solver"
 )
 
@@ -24,6 +25,15 @@ var ErrInfeasible = errors.New("admission: target delay infeasible")
 // bisection on f ∈ (0, fMax]. It returns the multiplier and the delay at
 // that setting. The returned model rate is f·λ.
 func MaxWorkload(m *core.Model, targetDelay, fMax float64, tol float64) (f float64, delay float64, err error) {
+	return MaxWorkloadOpt(m, targetDelay, fMax, tol, nil)
+}
+
+// MaxWorkloadOpt is MaxWorkload with solver options. The bisection
+// carries the σ of each successful Solution-2 evaluation into the next
+// one as a warm start (the workload multiplier moves σ smoothly), so the
+// search does a fraction of the transform evaluations a cold sweep would.
+// sopt may be nil; it is copied, never mutated.
+func MaxWorkloadOpt(m *core.Model, targetDelay, fMax float64, tol float64, sopt *solver.Options) (f float64, delay float64, err error) {
 	if targetDelay <= 0 {
 		return 0, 0, fmt.Errorf("admission: target delay must be positive")
 	}
@@ -33,16 +43,79 @@ func MaxWorkload(m *core.Model, targetDelay, fMax float64, tol float64) (f float
 	if tol <= 0 {
 		tol = 1e-4
 	}
+	var opts solver.Options
+	if sopt != nil {
+		opts = *sopt
+	}
 	eval := func(f float64) (float64, bool) {
 		scaled := m.Scale(core.LevelUser, f)
-		res, err := solver.Solution2(scaled, nil)
+		res, err := solver.Solution2(scaled, &opts)
 		if err != nil {
 			return 0, false // unstable or invalid → over target
 		}
+		opts.WarmSigma = res.Sigma
 		return res.Delay, true
 	}
 	// The delay is increasing in f; make sure even a tiny load meets the
 	// target.
+	lo, hi := 0.0, fMax
+	if d, ok := eval(1e-6); !ok || d > targetDelay {
+		return 0, 0, ErrInfeasible
+	}
+	if d, ok := eval(fMax); ok && d <= targetDelay {
+		return fMax, d, nil
+	}
+	for hi-lo > tol {
+		mid := (lo + hi) / 2
+		if d, ok := eval(mid); ok && d <= targetDelay {
+			lo = mid
+			delay = d
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return 0, 0, ErrInfeasible
+	}
+	return lo, delay, nil
+}
+
+// MaxScale is the transform-level twin of MaxWorkload for fitted arrival
+// processes: given the interarrival Laplace transform and mean rate of
+// the process at every arrival-scale multiplier f (e.g. an MMPP2 fitted
+// to a live stream with both state rates scaled by f), it bisects for
+// the largest f ∈ (0, fMax] whose G/M/1 delay at service rate mu stays
+// within targetDelay. Headroom f ≥ 1 means the observed traffic itself
+// meets the target — the control plane's admit condition. Successive
+// evaluations chain the σ warm start, so a full search costs little more
+// than one cold solve.
+func MaxScale(laplaceAt func(scale float64) gm1.Laplace, rateAt func(scale float64) float64,
+	mu, targetDelay, fMax, tol float64) (f float64, delay float64, err error) {
+	if targetDelay <= 0 {
+		return 0, 0, fmt.Errorf("admission: target delay must be positive")
+	}
+	if !(mu > 0) {
+		return 0, 0, fmt.Errorf("admission: service rate must be positive")
+	}
+	if fMax <= 0 {
+		fMax = 4
+	}
+	if tol <= 0 {
+		tol = 1e-4
+	}
+	var opts gm1.Options
+	eval := func(f float64) (float64, bool) {
+		lam := rateAt(f)
+		if !(lam > 0) || lam >= mu {
+			return 0, false
+		}
+		res, err := gm1.Solve(laplaceAt(f), lam, mu, &opts)
+		if err != nil {
+			return 0, false
+		}
+		opts.WarmSigma = res.Sigma
+		return res.Delay, true
+	}
 	lo, hi := 0.0, fMax
 	if d, ok := eval(1e-6); !ok || d > targetDelay {
 		return 0, 0, ErrInfeasible

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"hap/internal/core"
+	"hap/internal/gm1"
 	"hap/internal/solver"
 )
 
@@ -181,5 +182,62 @@ func TestHAPHeadroomBelowOne(t *testing.T) {
 	// Infeasible target.
 	if _, err := HAPHeadroom(laplaceAt, rateAt, mu, 0.01); !errors.Is(err, ErrInfeasible) {
 		t.Error("expected ErrInfeasible")
+	}
+}
+
+func TestMaxWorkloadOptWarmMatchesCold(t *testing.T) {
+	// Warm-σ chaining is a pure speed knob: the multiplier and delay must
+	// match the cold search to within the bisection tolerance.
+	m := core.PaperParams(20)
+	target := 0.12
+	fCold, dCold, err := MaxWorkload(m, target, 4, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fWarm, dWarm, err := MaxWorkloadOpt(m, target, 4, 1e-4, &solver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fWarm-fCold) > 1e-9 || math.Abs(dWarm-dCold) > 1e-9 {
+		t.Errorf("warm search diverged: f=%v vs %v, delay=%v vs %v", fWarm, fCold, dWarm, dCold)
+	}
+	// The caller's options must not be mutated by the internal warm chain.
+	var sopt solver.Options
+	if _, _, err := MaxWorkloadOpt(m, target, 4, 1e-4, &sopt); err != nil {
+		t.Fatal(err)
+	}
+	if sopt.WarmSigma != 0 {
+		t.Errorf("caller options mutated: WarmSigma = %v", sopt.WarmSigma)
+	}
+}
+
+func TestMaxScaleOnTransform(t *testing.T) {
+	// Poisson transform: λ/(λ+s). G/M/1 collapses to M/M/1 with
+	// T = 1/(μ−λ), so the scale meeting target T* solves f·λ = μ − 1/T*.
+	const lam, mu = 5.0, 20.0
+	laplaceAt := func(f float64) gm1.Laplace {
+		l := f * lam
+		return func(s float64) float64 { return l / (l + s) }
+	}
+	rateAt := func(f float64) float64 { return f * lam }
+	target := 0.2 // admits up to λf = 15 → f = 3
+	f, delay, err := MaxScale(laplaceAt, rateAt, mu, target, 8, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f-3) > 1e-3 {
+		t.Errorf("scale = %v, want 3 (M/M/1 closed form)", f)
+	}
+	if delay > target {
+		t.Errorf("delay at returned scale %v exceeds target %v", delay, target)
+	}
+	// A target below the empty-system service time is infeasible.
+	if _, _, err := MaxScale(laplaceAt, rateAt, mu, 0.01, 8, 0); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("expected ErrInfeasible, got %v", err)
+	}
+	// Headroom saturates at fMax when even fMax meets the target.
+	f, _, err = MaxScale(laplaceAt, rateAt, mu, 10, 2, 0)
+	if err != nil || f != 2 {
+		t.Errorf("saturated search = %v, %v; want fMax=2, nil", f, err)
 	}
 }

@@ -1,0 +1,230 @@
+package ctrl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"hap/internal/fit"
+	"hap/internal/gm1"
+	"hap/internal/haperr"
+	"hap/internal/netgen"
+)
+
+// noCancel is the fit/solve context: drain must still flush final fits
+// after the run context is cancelled, and every stage is bounded by its
+// own iteration budget.
+var noCancel = context.Background()
+
+// Config parameterises a Daemon. ListenAddrs, ServiceRate and
+// TargetDelay are required; everything else defaults.
+type Config struct {
+	// ListenAddrs binds one UDP sink per address ("127.0.0.1:0" picks a
+	// free port). Stream IDs are s0, s1, … in this order.
+	ListenAddrs []string
+	// HTTPAddr serves the decision API and /metrics (default
+	// "127.0.0.1:0").
+	HTTPAddr string
+	// ServiceRate is the message service rate μ'' the delay solves and
+	// admission bound assume.
+	ServiceRate float64
+	// TargetDelay is the admission delay target in seconds.
+	TargetDelay float64
+	// FMax caps the admission headroom search (default 4).
+	FMax float64
+	// RefitEvery re-fits a stream every N arrivals (default 2000).
+	RefitEvery int
+	// Window is the sliding fit window in seconds (default 30).
+	Window float64
+	// MinWindow is the fewest retained timestamps worth fitting
+	// (default 64, floor 8 — the EM minimum).
+	MinWindow int
+	// StaleAfter flags decisions whose fit is older than this as
+	// degraded (default 4× the expected refit interval is unknowable
+	// without the rate, so: 30s). <= 0 disables staleness tracking.
+	StaleAfter time.Duration
+	// Method selects the G/M/1 σ solver.
+	Method gm1.Method
+	// EM tunes the per-stream refitters.
+	EM fit.EMOptions
+	// IdleChunk bounds one Collect call so the ingest loop re-checks
+	// its context (default 250ms). Tests shrink it.
+	IdleChunk time.Duration
+}
+
+func (c *Config) validate() error {
+	if len(c.ListenAddrs) == 0 {
+		return haperr.Badf("ctrl: at least one listen address is required")
+	}
+	if !(c.ServiceRate > 0) {
+		return haperr.Badf("ctrl: service rate must be positive (got %g)", c.ServiceRate)
+	}
+	if !(c.TargetDelay > 0) {
+		return haperr.Badf("ctrl: target delay must be positive (got %g)", c.TargetDelay)
+	}
+	return nil
+}
+
+func (c *Config) applyDefaults() {
+	if c.HTTPAddr == "" {
+		c.HTTPAddr = "127.0.0.1:0"
+	}
+	if c.FMax <= 0 {
+		c.FMax = 4
+	}
+	if c.RefitEvery <= 0 {
+		c.RefitEvery = 2000
+	}
+	if c.Window <= 0 {
+		c.Window = 30
+	}
+	if c.MinWindow <= 0 {
+		c.MinWindow = 64
+	}
+	if c.StaleAfter == 0 {
+		c.StaleAfter = 30 * time.Second
+	}
+	if c.IdleChunk <= 0 {
+		c.IdleChunk = 250 * time.Millisecond
+	}
+}
+
+func (c *Config) minWindow() int {
+	if c.MinWindow < 8 {
+		return 8
+	}
+	return c.MinWindow
+}
+
+// Daemon owns the streams, their goroutines, and the HTTP API.
+type Daemon struct {
+	cfg     Config
+	streams []*Stream
+	api     *apiServer
+}
+
+// New binds every sink and the HTTP listener, so address errors surface
+// before any goroutine starts. Run starts the loops.
+func New(cfg Config) (*Daemon, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cfg.applyDefaults()
+	d := &Daemon{cfg: cfg}
+	for i, addr := range cfg.ListenAddrs {
+		sink, err := netgen.NewSink(addr)
+		if err != nil {
+			d.closeSinks()
+			return nil, err
+		}
+		st, err := newStream(fmt.Sprintf("s%d", i), sink, &d.cfg)
+		if err != nil {
+			sink.Close()
+			d.closeSinks()
+			return nil, err
+		}
+		d.streams = append(d.streams, st)
+	}
+	api, err := newAPIServer(d, cfg.HTTPAddr)
+	if err != nil {
+		d.closeSinks()
+		return nil, err
+	}
+	d.api = api
+	return d, nil
+}
+
+func (d *Daemon) closeSinks() {
+	for _, s := range d.streams {
+		s.sink.Close()
+	}
+}
+
+// Streams returns the daemon's streams in ID order.
+func (d *Daemon) Streams() []*Stream { return d.streams }
+
+// APIAddr returns the bound HTTP address.
+func (d *Daemon) APIAddr() string { return d.api.addr() }
+
+// Run ingests until ctx is cancelled, then drains: sinks close, ingest
+// goroutines finish, each stream flushes one final fit over whatever its
+// window holds, workers exit, and the API stops. A cancelled context is
+// the normal shutdown path and returns nil.
+func (d *Daemon) Run(ctx context.Context) error {
+	obsStreams.Set(int64(len(d.streams)))
+	defer obsStreams.Set(0)
+
+	var ingestWG, workerWG sync.WaitGroup
+	for _, s := range d.streams {
+		workerWG.Add(1)
+		go s.worker(&workerWG)
+		ingestWG.Add(1)
+		go func(s *Stream) {
+			defer ingestWG.Done()
+			d.ingestLoop(ctx, s)
+		}(s)
+	}
+
+	// Staleness gauge: cheap scan, coarse cadence.
+	tick := time.NewTicker(time.Second)
+	defer tick.Stop()
+	for done := false; !done; {
+		select {
+		case <-ctx.Done():
+			done = true
+		case now := <-tick.C:
+			d.updateFitAge(now)
+		}
+	}
+
+	// Drain: stop the sockets (Collect returns ErrSinkClosed), wait for
+	// ingest to stop touching the TraceStats, flush final fits, let the
+	// workers run the queue dry, then stop the API.
+	d.closeSinks()
+	ingestWG.Wait()
+	for _, s := range d.streams {
+		s.flushFinal()
+		close(s.jobs)
+	}
+	workerWG.Wait()
+	d.api.close()
+	return nil
+}
+
+// ingestLoop re-enters Collect until shutdown. Collect returns on idle
+// gaps (IdleChunk) so the loop stays responsive to ctx even on a silent
+// stream; a closed sink is the drain signal.
+func (d *Daemon) ingestLoop(ctx context.Context, s *Stream) {
+	for {
+		_, err := s.sink.Collect(ctx, 0, d.cfg.IdleChunk)
+		switch {
+		case errors.Is(err, netgen.ErrSinkClosed):
+			return
+		case err != nil:
+			obsIngestErrors.Inc()
+			return
+		}
+		if ctx.Err() != nil {
+			// Keep draining packets until the sink closes: Collect exits
+			// on ctx deadline mid-read, but the drain path owns shutdown.
+			return
+		}
+	}
+}
+
+// updateFitAge publishes the oldest fit age across streams.
+func (d *Daemon) updateFitAge(now time.Time) {
+	maxAge := 0.0
+	for _, s := range d.streams {
+		pub := s.snapshot()
+		if !pub.hasFit {
+			continue
+		}
+		if age := now.Sub(pub.fitAt).Seconds(); age > maxAge {
+			maxAge = age
+		}
+	}
+	obsFitAgeMax.Set(maxAge)
+}

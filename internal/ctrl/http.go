@@ -1,0 +1,218 @@
+package ctrl
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"hap/internal/fit"
+	"hap/internal/obs"
+)
+
+// apiServer serves the decision API next to the metrics exposition:
+//
+//	GET /v1/streams                 stream directory
+//	GET /v1/streams/{id}/fit        latest fitted window (fit.RefitReport + state)
+//	GET /v1/streams/{id}/delay      latest delay forecast
+//	GET /v1/streams/{id}/admit      admission decision
+//	GET /metrics, /debug/vars       obs exposition
+//
+// Decision endpoints return 503 with a JSON error while a stream warms
+// up; once a fit exists they always answer, flagging degraded/stale
+// state instead of erroring.
+type apiServer struct {
+	d   *Daemon
+	ln  net.Listener
+	srv *http.Server
+}
+
+func newAPIServer(d *Daemon, addr string) (*apiServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ctrl: listen %s: %w", addr, err)
+	}
+	a := &apiServer{d: d, ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/streams", a.handleStreams)
+	mux.HandleFunc("GET /v1/streams/{id}/fit", a.stream(a.handleFit))
+	mux.HandleFunc("GET /v1/streams/{id}/delay", a.stream(a.handleDelay))
+	mux.HandleFunc("GET /v1/streams/{id}/admit", a.stream(a.handleAdmit))
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = obs.Default.WritePrometheus(w)
+	})
+	mux.HandleFunc("GET /debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = obs.Default.WriteJSON(w)
+	})
+	a.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = a.srv.Serve(ln) }()
+	return a, nil
+}
+
+func (a *apiServer) addr() string { return a.ln.Addr().String() }
+func (a *apiServer) close()       { _ = a.srv.Close() }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// stream resolves the {id} path value or 404s.
+func (a *apiServer) stream(h func(http.ResponseWriter, *http.Request, *Stream)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		for _, s := range a.d.streams {
+			if s.ID == id {
+				h(w, r, s)
+				return
+			}
+		}
+		writeError(w, http.StatusNotFound, "unknown stream "+id)
+	}
+}
+
+// streamInfo is one directory row.
+type streamInfo struct {
+	ID            string  `json:"id"`
+	Addr          string  `json:"addr"`
+	State         string  `json:"state"`
+	Arrivals      int64   `json:"arrivals"`
+	WindowN       int     `json:"window_n"`
+	FitAgeSeconds float64 `json:"fit_age_seconds"`
+}
+
+func (a *apiServer) handleStreams(w http.ResponseWriter, _ *http.Request) {
+	now := time.Now()
+	out := make([]streamInfo, 0, len(a.d.streams))
+	for _, s := range a.d.streams {
+		pub := s.snapshot()
+		info := streamInfo{
+			ID:       s.ID,
+			Addr:     s.Addr(),
+			State:    s.state(now),
+			Arrivals: s.arrivals.Load(),
+			WindowN:  pub.fit.WindowN, // last published window; live count is ingest-owned
+		}
+		if pub.hasFit {
+			info.FitAgeSeconds = now.Sub(pub.fitAt).Seconds()
+		}
+		out = append(out, info)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"streams": out})
+}
+
+// fitResponse is the /fit schema.
+type fitResponse struct {
+	ID            string          `json:"id"`
+	State         string          `json:"state"`
+	Stale         bool            `json:"stale"`
+	FitAgeSeconds float64         `json:"fit_age_seconds"`
+	Fit           fit.RefitReport `json:"fit"`
+}
+
+func (a *apiServer) handleFit(w http.ResponseWriter, _ *http.Request, s *Stream) {
+	now := time.Now()
+	pub := s.snapshot()
+	if !pub.hasFit {
+		writeError(w, http.StatusServiceUnavailable, "warming: no fit published yet")
+		return
+	}
+	writeJSON(w, http.StatusOK, fitResponse{
+		ID:            s.ID,
+		State:         s.state(now),
+		Stale:         s.stale(pub, now),
+		FitAgeSeconds: now.Sub(pub.fitAt).Seconds(),
+		Fit:           pub.fit,
+	})
+}
+
+// delayResponse is the /delay schema.
+type delayResponse struct {
+	ID           string  `json:"id"`
+	State        string  `json:"state"`
+	Stale        bool    `json:"stale"`
+	Degraded     bool    `json:"degraded"`
+	DelaySeconds float64 `json:"delay_seconds"`
+	Sigma        float64 `json:"sigma"`
+	Rho          float64 `json:"rho"`
+	Converged    bool    `json:"converged"`
+	SolveError   string  `json:"solve_error,omitempty"`
+}
+
+func (a *apiServer) handleDelay(w http.ResponseWriter, _ *http.Request, s *Stream) {
+	now := time.Now()
+	pub := s.snapshot()
+	if !pub.hasFit {
+		writeError(w, http.StatusServiceUnavailable, "warming: no fit published yet")
+		return
+	}
+	degraded := !pub.converged || !pub.solveOK || s.stale(pub, now)
+	if degraded {
+		obsDegradedDecisions.Inc()
+	}
+	writeJSON(w, http.StatusOK, delayResponse{
+		ID:           s.ID,
+		State:        s.state(now),
+		Stale:        s.stale(pub, now),
+		Degraded:     degraded,
+		DelaySeconds: pub.delay,
+		Sigma:        pub.sigma,
+		Rho:          pub.rho,
+		Converged:    pub.converged,
+		SolveError:   pub.solveMsg,
+	})
+}
+
+// admitResponse is the /admit schema: the decision plus the provenance a
+// caller needs to weigh it.
+type admitResponse struct {
+	ID            string  `json:"id"`
+	State         string  `json:"state"`
+	Stale         bool    `json:"stale"`
+	Degraded      bool    `json:"degraded"`
+	FitAgeSeconds float64 `json:"fit_age_seconds"`
+	decision
+}
+
+func (a *apiServer) handleAdmit(w http.ResponseWriter, _ *http.Request, s *Stream) {
+	now := time.Now()
+	pub := s.snapshot()
+	if !pub.hasFit {
+		writeError(w, http.StatusServiceUnavailable, "warming: no fit published yet")
+		return
+	}
+	if !pub.admitOK {
+		// A fit exists but no admission bound could be computed (solve
+		// failed non-terminally). Degrade, don't error: deny with reason.
+		obsDegradedDecisions.Inc()
+		writeJSON(w, http.StatusOK, admitResponse{
+			ID: s.ID, State: s.state(now), Stale: s.stale(pub, now), Degraded: true,
+			FitAgeSeconds: now.Sub(pub.fitAt).Seconds(),
+			decision: decision{Admit: false, Target: s.cfg.TargetDelay,
+				Reason: "no admission bound available: " + pub.solveMsg},
+		})
+		return
+	}
+	degraded := !pub.converged || s.stale(pub, now)
+	if degraded {
+		obsDegradedDecisions.Inc()
+	}
+	writeJSON(w, http.StatusOK, admitResponse{
+		ID:            s.ID,
+		State:         s.state(now),
+		Stale:         s.stale(pub, now),
+		Degraded:      degraded,
+		FitAgeSeconds: now.Sub(pub.fitAt).Seconds(),
+		decision:      pub.dec,
+	})
+}

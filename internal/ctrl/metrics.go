@@ -1,0 +1,40 @@
+package ctrl
+
+import "hap/internal/obs"
+
+// Runtime metrics for the control plane. The ingest path only touches
+// atomic counters (no labelled children, no maps) so a packet's cost is
+// a handful of atomic adds; everything coarser — refits, solves, admit
+// decisions — records per cycle, which runs every RefitEvery arrivals.
+var (
+	obsStreams = obs.NewGauge("hap_ctrl_streams",
+		"Streams currently ingesting.")
+	obsArrivals = obs.NewCounter("hap_ctrl_arrivals_total",
+		"Packets ingested into per-stream sliding windows across all streams.")
+	obsIngestErrors = obs.NewCounter("hap_ctrl_ingest_errors_total",
+		"Arrivals rejected by the window accumulator (non-monotone receiver timestamps).")
+	obsRefits = obs.NewCounter("hap_ctrl_refits_total",
+		"Sliding-window re-fits completed (including budget-exhausted best iterates).")
+	obsRefitsSkipped = obs.NewCounter("hap_ctrl_refits_skipped_total",
+		"Refit cycles skipped because the fit worker was still busy — the bounded hand-off dropped the cycle rather than block ingest.")
+	obsRefitErrors = obs.NewCounter("hap_ctrl_refit_errors_total",
+		"Re-fits that failed outright (not ErrNotConverged); the stream keeps serving its last good fit.")
+	obsRefitNotConverged = obs.NewCounter("hap_ctrl_refits_not_converged_total",
+		"Re-fits that exhausted the EM budget; their best iterate is published with the degraded flag.")
+	obsRefitTime = obs.NewTimer("hap_ctrl_refit",
+		"Wall time of one sliding-window EM re-fit.")
+	obsSolves = obs.NewCounter("hap_ctrl_solves_total",
+		"Warm-started delay solves over freshly fitted windows.")
+	obsSolveErrors = obs.NewCounter("hap_ctrl_solve_errors_total",
+		"Delay solves that failed (e.g. fitted load unstable at the configured service rate).")
+	obsSolveTime = obs.NewTimer("hap_ctrl_solve",
+		"Wall time of one delay solve plus admission bound evaluation.")
+	obsAdmitAllowed = obs.NewCounter("hap_ctrl_admit_allowed_total",
+		"Admission evaluations concluding the stream meets its delay target (headroom >= 1).")
+	obsAdmitDenied = obs.NewCounter("hap_ctrl_admit_denied_total",
+		"Admission evaluations concluding the stream misses its delay target.")
+	obsDegradedDecisions = obs.NewCounter("hap_ctrl_degraded_decisions_total",
+		"Decisions served from a degraded fit (stale window, budget-exhausted EM, or failed solve).")
+	obsFitAgeMax = obs.NewFloatGauge("hap_ctrl_fit_age_seconds_max",
+		"Age of the oldest published fit across streams — staleness at a glance.")
+)

@@ -1,0 +1,341 @@
+// Package ctrl is the live traffic control plane: it closes the paper's
+// loop as a long-running service. Each stream is a UDP sink whose
+// arrivals feed a sliding-window TraceStats; every RefitEvery arrivals a
+// snapshot of the window crosses a bounded hand-off to a per-stream fit
+// worker, which re-runs the warm-started MMPP2 EM, re-solves the G/M/1
+// expected delay from the fitted process's exact interarrival transform
+// (σ warm-started from the previous cycle), and evaluates the paper's
+// admission bound. Decisions, fitted parameters and delay forecasts are
+// served over HTTP next to /metrics.
+//
+// Robustness contract: fit and solve never block ingest (a busy worker
+// drops the cycle and counts it), and a stale or budget-exhausted window
+// degrades the served decision — flagged, never erroring — to the last
+// good fit.
+package ctrl
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hap/internal/admission"
+	"hap/internal/fit"
+	"hap/internal/gm1"
+	"hap/internal/haperr"
+	"hap/internal/mmpp"
+	"hap/internal/netgen"
+)
+
+// Stream states, in lifecycle order. A stream oscillates between live
+// and degraded while running; warming only happens once.
+const (
+	StateWarming  = "warming"  // no fit published yet
+	StateLive     = "live"     // fresh, converged fit behind the decisions
+	StateDegraded = "degraded" // decisions served from a stale or budget-exhausted fit
+	StateClosed   = "closed"   // drained; final fit flushed
+)
+
+// refitJob is one window snapshot crossing from the ingest goroutine to
+// the fit worker. Jobs are pooled (two per stream): at steady state the
+// hand-off reuses the same buffers and allocates nothing.
+type refitJob struct {
+	times      []float64
+	windowN    int
+	windowRate float64
+	windowC2   float64
+	cumRate    float64
+	cumC2      float64
+	arrivals   int64
+}
+
+// decision is the admission verdict derived from one solved fit.
+type decision struct {
+	Admit    bool    `json:"admit"`
+	Headroom float64 `json:"headroom"` // max arrival-scale multiplier still meeting the target
+	Delay    float64 `json:"delay_seconds"`
+	Target   float64 `json:"target_seconds"`
+	Reason   string  `json:"reason,omitempty"`
+}
+
+// published is the stream state visible to the HTTP layer, replaced
+// wholesale by the worker under the mutex.
+type published struct {
+	hasFit    bool
+	fit       fit.RefitReport
+	fitAt     time.Time
+	converged bool // EM met its tolerance
+
+	solveOK  bool
+	sigma    float64
+	rho      float64
+	delay    float64
+	solveMsg string
+
+	admitOK bool
+	dec     decision
+}
+
+// Stream is one ingested packet stream with its private fit/solve/admit
+// pipeline. All fields below the mutex are owned by the fit worker; the
+// TraceStats is owned by the ingest goroutine; the two communicate only
+// through the job channels.
+type Stream struct {
+	ID   string
+	sink *netgen.Sink
+	cfg  *Config
+
+	epoch    time.Time
+	arrivals atomic.Int64
+	closed   atomic.Bool
+
+	ts   *fit.TraceStats
+	rf   fit.Refitter
+	jobs chan *refitJob
+	free chan *refitJob
+
+	warmSigma float64 // worker-local σ chain across solve cycles
+
+	mu  sync.Mutex
+	pub published
+}
+
+func newStream(id string, sink *netgen.Sink, cfg *Config) (*Stream, error) {
+	ts, err := fit.NewTraceStats(fit.TraceConfig{SlideWindow: cfg.Window})
+	if err != nil {
+		return nil, err
+	}
+	s := &Stream{
+		ID:    id,
+		sink:  sink,
+		cfg:   cfg,
+		epoch: time.Now(),
+		ts:    ts,
+		rf:    fit.Refitter{Opt: cfg.EM},
+		jobs:  make(chan *refitJob, 1),
+		free:  make(chan *refitJob, 2),
+	}
+	s.free <- &refitJob{}
+	s.free <- &refitJob{}
+	if sink != nil {
+		sink.OnArrival = func(_ float64) {
+			// Collect resets its clock on every call, and the ingest loop
+			// re-enters Collect after idle gaps — the stream keeps its own
+			// monotone epoch instead.
+			s.ingest(time.Since(s.epoch).Seconds())
+		}
+	}
+	return s, nil
+}
+
+// Addr returns the stream's bound UDP address.
+func (s *Stream) Addr() string { return s.sink.Addr() }
+
+// ingest is the per-packet hot path, run on the sink's Collect
+// goroutine. It must never block and, at steady state (job buffers
+// grown, ring at peak occupancy), never allocate.
+func (s *Stream) ingest(sec float64) {
+	if err := s.ts.Add(sec); err != nil {
+		obsIngestErrors.Inc()
+		return
+	}
+	s.ts.Slide(sec)
+	n := s.arrivals.Add(1)
+	obsArrivals.Inc()
+	if n%int64(s.cfg.RefitEvery) != 0 || s.ts.WindowN() < s.cfg.minWindow() {
+		return
+	}
+	select {
+	case j := <-s.free:
+		s.fillJob(j)
+		select {
+		case s.jobs <- j:
+		default:
+			// Queue full: hand the buffer back (cap 2, we hold one, so
+			// this send cannot block) and drop the cycle.
+			s.free <- j
+			obsRefitsSkipped.Inc()
+		}
+	default:
+		obsRefitsSkipped.Inc() // both buffers in flight
+	}
+}
+
+// fillJob snapshots the current window into a pooled job buffer.
+func (s *Stream) fillJob(j *refitJob) {
+	j.times = s.ts.WindowTimes(j.times[:0])
+	j.windowN = s.ts.WindowN()
+	j.windowRate, j.windowC2 = s.ts.WindowMoments()
+	j.cumRate, j.cumC2 = s.ts.Rate(), s.ts.C2()
+	j.arrivals = s.ts.N()
+}
+
+// flushFinal runs the drain-time fit: one last synchronous snapshot of
+// whatever the window holds, queued behind any in-flight job. Call only
+// after the ingest goroutine has stopped.
+func (s *Stream) flushFinal() {
+	if s.ts.WindowN() < s.cfg.minWindow() {
+		return
+	}
+	j := <-s.free // worker returns buffers after each job; bounded wait
+	s.fillJob(j)
+	s.jobs <- j
+}
+
+// worker consumes window snapshots until the jobs channel closes. It
+// deliberately ignores the daemon's run context: drain must still flush
+// final fits after SIGTERM, and a single windowed EM + solve is
+// milliseconds of work bounded by its own iteration budgets.
+func (s *Stream) worker(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for j := range s.jobs {
+		s.processJob(j)
+		select {
+		case s.free <- j:
+		default:
+		}
+	}
+	s.closed.Store(true)
+}
+
+func (s *Stream) processJob(j *refitJob) {
+	start := time.Now()
+	f, err := s.rf.RefitTimes(noCancel, j.times)
+	obsRefitTime.Observe(time.Since(start))
+	switch {
+	case err == nil:
+		obsRefits.Inc()
+	case errors.Is(err, haperr.ErrNotConverged):
+		obsRefits.Inc()
+		obsRefitNotConverged.Inc()
+	default:
+		obsRefitErrors.Inc()
+		return // keep the last good fit; decisions degrade, not error
+	}
+
+	rep := fit.RefitReport{
+		Arrivals:   j.arrivals,
+		WindowN:    j.windowN,
+		WindowRate: j.windowRate,
+		WindowC2:   j.windowC2,
+		CumRate:    j.cumRate,
+		CumC2:      j.cumC2,
+		R0:         f.Model.R0,
+		R1:         f.Model.R1,
+		Q01:        f.Model.Q01,
+		Q10:        f.Model.Q10,
+		Iterations: f.Diag.Iterations,
+		Converged:  f.Diag.Converged,
+	}
+
+	pub := published{
+		hasFit:    true,
+		fit:       rep,
+		fitAt:     time.Now(),
+		converged: f.Diag.Converged,
+	}
+	s.solveAndAdmit(f.Model, &pub)
+
+	s.mu.Lock()
+	s.pub = pub
+	s.mu.Unlock()
+}
+
+// solveAndAdmit re-solves the expected delay from the fitted process's
+// exact interarrival transform (the same G/M/1 reduction as Solutions
+// 1/2, σ warm-started from the previous cycle) and evaluates the
+// admission bound.
+func (s *Stream) solveAndAdmit(m mmpp.MMPP2, pub *published) {
+	start := time.Now()
+	defer func() { obsSolveTime.Observe(time.Since(start)) }()
+	lap, err := m.InterarrivalLaplace()
+	if err != nil {
+		obsSolveErrors.Inc()
+		pub.solveMsg = err.Error()
+		return
+	}
+	lam := m.MeanRate()
+	res, err := gm1.Solve(gm1.Laplace(lap), lam, s.cfg.ServiceRate,
+		&gm1.Options{Method: s.cfg.Method, WarmSigma: s.warmSigma})
+	obsSolves.Inc()
+	if err != nil {
+		obsSolveErrors.Inc()
+		pub.solveMsg = err.Error()
+		// Unstable fitted load is itself a decision: deny with reason.
+		if errors.Is(err, haperr.ErrUnstable) {
+			pub.admitOK = true
+			pub.dec = decision{Admit: false, Target: s.cfg.TargetDelay,
+				Reason: "fitted load unstable at the configured service rate"}
+			obsAdmitDenied.Inc()
+		}
+		return
+	}
+	s.warmSigma = res.Sigma
+	pub.solveOK = true
+	pub.sigma, pub.rho, pub.delay = res.Sigma, res.Rho, res.Delay
+
+	laplaceAt := func(f float64) gm1.Laplace {
+		sm := mmpp.MMPP2{R0: f * m.R0, R1: f * m.R1, Q01: m.Q01, Q10: m.Q10}
+		l, _ := sm.InterarrivalLaplace()
+		return gm1.Laplace(l)
+	}
+	rateAt := func(f float64) float64 { return f * lam }
+	scale, _, err := admission.MaxScale(laplaceAt, rateAt,
+		s.cfg.ServiceRate, s.cfg.TargetDelay, s.cfg.FMax, 0)
+	pub.admitOK = true
+	switch {
+	case errors.Is(err, admission.ErrInfeasible):
+		pub.dec = decision{Admit: false, Target: s.cfg.TargetDelay,
+			Delay: res.Delay, Reason: "target delay infeasible for the fitted process"}
+	case err != nil:
+		pub.admitOK = false
+		pub.solveMsg = err.Error()
+	default:
+		pub.dec = decision{
+			Admit:    scale >= 1,
+			Headroom: scale,
+			Delay:    res.Delay,
+			Target:   s.cfg.TargetDelay,
+		}
+		if !pub.dec.Admit {
+			pub.dec.Reason = "observed load exceeds the admissible workload for the delay target"
+		}
+	}
+	if pub.admitOK {
+		if pub.dec.Admit {
+			obsAdmitAllowed.Inc()
+		} else {
+			obsAdmitDenied.Inc()
+		}
+	}
+}
+
+// snapshot copies the published state.
+func (s *Stream) snapshot() published {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pub
+}
+
+// state derives the lifecycle state at the given instant.
+func (s *Stream) state(now time.Time) string {
+	if s.closed.Load() {
+		return StateClosed
+	}
+	pub := s.snapshot()
+	switch {
+	case !pub.hasFit:
+		return StateWarming
+	case !pub.converged || !pub.solveOK || s.stale(pub, now):
+		return StateDegraded
+	default:
+		return StateLive
+	}
+}
+
+// stale reports whether the published fit is older than the configured
+// staleness horizon.
+func (s *Stream) stale(pub published, now time.Time) bool {
+	return pub.hasFit && s.cfg.StaleAfter > 0 && now.Sub(pub.fitAt) > s.cfg.StaleAfter
+}

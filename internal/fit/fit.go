@@ -179,9 +179,15 @@ type HAPFit struct {
 // distribute L and P over the tree (Equation 5 makes every split with the
 // same leaf count equivalent).
 func FitSymmetricHAP(ts *TraceStats, opt Options) (HAPFit, error) {
+	return FitSymmetricHAPPoints(ts.Rate(), ts.IDCPoints(opt.minBins()), opt)
+}
+
+// FitSymmetricHAPPoints is FitSymmetricHAP from an already-snapshotted
+// rate and IDC curve — the form the continuous control loop uses, where
+// the TraceStats lives on the ingest goroutine and only a cheap snapshot
+// (rate + points) crosses to the fit worker.
+func FitSymmetricHAPPoints(rate float64, pts []IDCPoint, opt Options) (HAPFit, error) {
 	start := time.Now()
-	rate := ts.Rate()
-	pts := ts.IDCPoints(opt.minBins())
 	c, a, diag, err := fitExpCovariance(pts, rate, 2, opt.Scratch)
 	if err != nil {
 		recordFitErr("hap", start, err)

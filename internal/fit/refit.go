@@ -37,18 +37,76 @@ type Refitter struct {
 // available starting point for the next window.
 func (rf *Refitter) Refit(ctx context.Context, ts *TraceStats) (MMPP2Fit, error) {
 	rf.times = ts.WindowTimes(rf.times[:0])
+	return rf.RefitTimes(ctx, rf.times)
+}
+
+// RefitTimes re-fits an explicit timestamp slice — the control-loop form,
+// where the window snapshot was taken on another goroutine and handed
+// over. Same warm-state semantics as Refit; times is not retained.
+func (rf *Refitter) RefitTimes(ctx context.Context, times []float64) (MMPP2Fit, error) {
 	opt := rf.Opt
 	opt.Scratch = &rf.scratch
 	opt.Warm = nil
 	if rf.warm {
 		opt.Warm = &rf.prev
 	}
-	f, err := FitMMPP2EM(ctx, rf.times, opt)
+	f, err := FitMMPP2EM(ctx, times, opt)
 	if err == nil || errors.Is(err, haperr.ErrNotConverged) {
 		rf.prev, rf.warm = f, true
 	}
 	return f, err
 }
 
-// Last returns the most recent usable fit and whether one exists.
+// Last returns the most recent usable fit and whether one exists. The
+// fit may be an ErrNotConverged best iterate — consult Converged (or the
+// fit's own Diag.Converged) before treating it as authoritative; a
+// budget-exhausted window still advances the warm state because its best
+// iterate is the closest starting point for the next window.
 func (rf *Refitter) Last() (MMPP2Fit, bool) { return rf.prev, rf.warm }
+
+// Converged reports whether the warm state holds a fit that met the EM
+// tolerance. False both before the first fit and after a window whose
+// budget ran out (ErrNotConverged) — the signal a control plane uses to
+// mark decisions derived from the current fit as degraded.
+func (rf *Refitter) Converged() bool { return rf.warm && rf.prev.Diag.Converged }
+
+// RefitReport is the exportable snapshot of one refit cycle. The window
+// moments describe exactly the data the fit saw; the cumulative moments
+// describe the whole stream since start. (Reporting only the cumulative
+// rate/c² next to a window-local fit conflated the two — after a level
+// shift they can disagree arbitrarily.)
+type RefitReport struct {
+	Arrivals   int64   `json:"arrivals"`    // stream arrivals ingested since start
+	WindowN    int     `json:"window_n"`    // timestamps in the fitted window
+	WindowRate float64 `json:"window_rate"` // arrival rate over the window
+	WindowC2   float64 `json:"window_c2"`   // interarrival c² over the window
+	CumRate    float64 `json:"cum_rate"`    // whole-stream rate since start
+	CumC2      float64 `json:"cum_c2"`      // whole-stream c² since start
+	R0         float64 `json:"r0"`          // fitted MMPP2 slow-state rate
+	R1         float64 `json:"r1"`          // fitted MMPP2 fast-state rate
+	Q01        float64 `json:"q01"`
+	Q10        float64 `json:"q10"`
+	Iterations int     `json:"iterations"`
+	Converged  bool    `json:"converged"`
+}
+
+// Report snapshots the current warm state against the accumulator that
+// feeds it. The fit fields are zero before the first successful Refit.
+func (rf *Refitter) Report(ts *TraceStats) RefitReport {
+	wr, wc2 := ts.WindowMoments()
+	r := RefitReport{
+		Arrivals:   ts.N(),
+		WindowN:    ts.WindowN(),
+		WindowRate: wr,
+		WindowC2:   wc2,
+		CumRate:    ts.Rate(),
+		CumC2:      ts.C2(),
+	}
+	if f, ok := rf.Last(); ok {
+		r.R0, r.R1 = f.Model.R0, f.Model.R1
+		r.Q01, r.Q10 = f.Model.Q01, f.Model.Q10
+		r.Iterations = f.Diag.Iterations
+		r.Converged = f.Diag.Converged
+	}
+	return r
+}

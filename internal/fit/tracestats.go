@@ -200,6 +200,43 @@ func (ts *TraceStats) Slide(t float64) int {
 // WindowN returns the number of timestamps currently retained.
 func (ts *TraceStats) WindowN() int { return ts.count }
 
+// WindowMoments returns the empirical mean arrival rate and interarrival
+// c² of the timestamps currently retained by the sliding window — the
+// same data a Refit sees, unlike Rate/C2 which describe the whole trace
+// since start. Allocation-free: one pass over the ring. Both are 0 when
+// fewer than 2 (rate) / 3 (c²) timestamps are retained.
+func (ts *TraceStats) WindowMoments() (rate, c2 float64) {
+	if ts.count < 2 {
+		return 0, 0
+	}
+	// Welford over the n−1 interarrivals, walking the ring in place.
+	i := ts.head
+	prev := ts.ring[i]
+	var mean, m2 float64
+	n := 0.0
+	for k := 1; k < ts.count; k++ {
+		i++
+		if i == len(ts.ring) {
+			i = 0
+		}
+		t := ts.ring[i]
+		ia := t - prev
+		prev = t
+		n++
+		d := ia - mean
+		mean += d / n
+		m2 += d * (ia - mean)
+	}
+	span := prev - ts.ring[ts.head]
+	if span > 0 {
+		rate = n / span
+	}
+	if n >= 2 && mean > 0 {
+		c2 = (m2 / (n - 1)) / (mean * mean)
+	}
+	return rate, c2
+}
+
 // WindowTimes appends the retained timestamps (oldest first) to dst and
 // returns it — at most two copies, allocation-free when dst has capacity.
 func (ts *TraceStats) WindowTimes(dst []float64) []float64 {
@@ -288,22 +325,27 @@ type IDCPoint struct {
 // minBins completed bins (minBins < 2 defaults to 2; the variance of a
 // 1-bin estimate is undefined).
 func (ts *TraceStats) IDCPoints(minBins int64) []IDCPoint {
+	return ts.AppendIDCPoints(nil, minBins)
+}
+
+// AppendIDCPoints is IDCPoints appending into dst — allocation-free when
+// dst has capacity, for snapshot loops that run per refit cycle.
+func (ts *TraceStats) AppendIDCPoints(dst []IDCPoint, minBins int64) []IDCPoint {
 	if minBins < 2 {
 		minBins = 2
 	}
-	var out []IDCPoint
 	for i := range ts.win {
 		wa := &ts.win[i]
 		if wa.counts.N() < minBins || wa.counts.Mean() <= 0 {
 			continue
 		}
-		out = append(out, IDCPoint{
+		dst = append(dst, IDCPoint{
 			Window: wa.w,
 			IDC:    wa.counts.Var() / wa.counts.Mean(),
 			Bins:   wa.counts.N(),
 		})
 	}
-	return out
+	return dst
 }
 
 // BurstStats summarises the busy/idle run-length structure under the

@@ -124,6 +124,14 @@ type Options struct {
 	Tol     float64 // |A*(μ−μσ) − σ| tolerance (default 1e-10)
 	MaxIter int     // iteration budget (default 10000)
 	Method  Method  // solver choice (default MethodBisect)
+	// WarmSigma, when inside (0, 1), seeds MethodBisect with the σ of a
+	// previous solve of a nearby queue (a re-fitted model, a slightly
+	// scaled load): the bracket is grown geometrically around it instead
+	// of scanned down from 1, and the bisection runs over the resulting
+	// narrow interval. A warm value far from the true root only costs the
+	// expansion probes — correctness never depends on it. Ignored by
+	// MethodPaper.
+	WarmSigma float64
 	// Ctx, when non-nil, is polled during the fixed-point iteration; a
 	// cancelled context aborts the solve with the context error.
 	Ctx context.Context
@@ -178,6 +186,7 @@ func solve(a Laplace, lambda, mu float64, opts *Options) (Result, error) {
 			o.MaxIter = opts.MaxIter
 		}
 		o.Method = opts.Method
+		o.WarmSigma = opts.WarmSigma
 		o.Ctx = opts.Ctx
 	}
 	if o.Ctx != nil {
@@ -211,7 +220,7 @@ func solve(a Laplace, lambda, mu float64, opts *Options) (Result, error) {
 				sigma, rho, ErrTrivialRoot)
 		}
 	default:
-		sigma, res.Iterations, res.Bracket, err = bisectSigma(g, o.Tol, o.MaxIter)
+		sigma, res.Iterations, res.Bracket, err = bisectSigma(g, o.Tol, o.MaxIter, o.WarmSigma)
 		if err != nil {
 			return res, err
 		}
@@ -236,18 +245,79 @@ func solve(a Laplace, lambda, mu float64, opts *Options) (Result, error) {
 // point with h < 0 lies between the root and 1, so one is enough).
 // It returns the root, the total transform evaluations spent (probes plus
 // bisection steps) and the probe history as flattened (probe, h) pairs.
-func bisectSigma(g func(float64) float64, tol float64, maxIter int) (float64, int, []float64, error) {
+//
+// A warm σ in (0, 1) replaces the descending probe scan with a geometric
+// bracket expansion around the previous root: the continuous re-solve loop
+// (ctrl's refit cycle, admission's workload bisection) moves σ a little per
+// call, so the sign change is usually found within a few probes and the
+// bisection runs over an interval far narrower than (0, 1). If the
+// expansion fails to bracket — the warm value was stale — the cold scan
+// runs as before, so a bad hint costs probes, never the answer.
+func bisectSigma(g func(float64) float64, tol float64, maxIter int, warm float64) (float64, int, []float64, error) {
 	h := func(s float64) float64 { return g(s) - s }
 	var hi float64 = -1
+	lo := 0.0
 	probes := 0
 	bracket := make([]float64, 0, 8)
+	if warm > 0 && warm < 1 {
+		// h is positive below the root and negative above it, so one
+		// evaluation at the warm point picks the march direction; geometric
+		// steps then walk toward the root, keeping the trailing probe as
+		// the other bracket end. Both ends stay within a factor of the
+		// actual drift, so the bisection interval is ~3·|σ − warm| instead
+		// of (0, 1).
+		probes++
+		hw := h(warm)
+		bracket = append(bracket, warm, hw)
+		switch {
+		case hw == 0:
+			return warm, probes, bracket, nil
+		case hw > 0:
+			lo = warm
+			for delta := math.Max(4*tol, 1e-4); delta < 1; delta *= 4 {
+				p := warm + delta
+				if p >= 1 {
+					break
+				}
+				probes++
+				hp := h(p)
+				bracket = append(bracket, p, hp)
+				if hp < 0 {
+					hi = p
+					break
+				}
+				lo = p
+			}
+			if hi < 0 {
+				lo = 0 // stale hint: the cold scan below may bracket anywhere
+			}
+		default:
+			hi = warm
+			for delta := math.Max(4*tol, 1e-4); delta < 1; delta *= 4 {
+				p := warm - delta
+				if p <= 0 {
+					break // lo stays 0; h(0) = A*(μ) > 0 always
+				}
+				probes++
+				hp := h(p)
+				bracket = append(bracket, p, hp)
+				if hp > 0 {
+					lo = p
+					break
+				}
+				hi = p
+			}
+		}
+	}
 	for _, probe := range []float64{0.999, 0.99, 0.9, 0.7, 0.5, 0.3, 0.1, 0.01} {
+		if hi >= 0 {
+			break
+		}
 		probes++
 		hp := h(probe)
 		bracket = append(bracket, probe, hp)
 		if hp < 0 {
 			hi = probe
-			break
 		}
 	}
 	if hi < 0 {
@@ -270,7 +340,7 @@ func bisectSigma(g func(float64) float64, tol float64, maxIter int) (float64, in
 			return 0, probes, bracket, fmt.Errorf("gm1: σ indistinguishable from 1 (h >= 0 down to 1-1e-13): %w", haperr.ErrUnstable)
 		}
 	}
-	root, steps, err := quad.Bisect(h, 0, hi, tol)
+	root, steps, err := quad.Bisect(h, lo, hi, tol)
 	if err != nil {
 		return 0, probes + steps, bracket, fmt.Errorf("gm1: bisect: %w", err)
 	}

@@ -176,3 +176,41 @@ func TestQuickSigmaFixedPoint(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestWarmSigmaBracket asserts the warm-start contract of the bisection:
+// seeding a solve with a nearby previous σ lands on the same root in
+// strictly fewer transform evaluations, and a wildly wrong hint still
+// converges to the correct root (correctness never depends on the hint).
+func TestWarmSigmaBracket(t *testing.T) {
+	lambda, mu := 8.25, 20.0
+	e := dist.NewExponential(lambda)
+	cold, err := Solve(e.Laplace, lambda, mu, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nudge the load slightly — the continuous re-solve scenario — and
+	// warm-start from the previous σ.
+	lambda2 := lambda * 1.02
+	e2 := dist.NewExponential(lambda2)
+	cold2, err := Solve(e2.Laplace, lambda2, mu, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Solve(e2.Laplace, lambda2, mu, &Options{WarmSigma: cold.Sigma})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantClose(t, "warm sigma", warm.Sigma, cold2.Sigma, 1e-7)
+	if warm.Iterations >= cold2.Iterations {
+		t.Errorf("warm solve spent %d evaluations, cold spent %d — warm should be cheaper",
+			warm.Iterations, cold2.Iterations)
+	}
+	// A stale hint far from the root must still converge.
+	for _, hint := range []float64{1e-9, 0.999999} {
+		res, err := Solve(e2.Laplace, lambda2, mu, &Options{WarmSigma: hint})
+		if err != nil {
+			t.Fatalf("hint %g: %v", hint, err)
+		}
+		wantClose(t, "stale-hint sigma", res.Sigma, cold2.Sigma, 1e-7)
+	}
+}

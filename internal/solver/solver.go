@@ -77,6 +77,12 @@ type Options struct {
 	MaxIter int
 	// SigmaMethod selects the G/M/1 σ solver for Solutions 1 and 2.
 	SigmaMethod gm1.Method
+	// WarmSigma, when inside (0, 1), seeds the G/M/1 σ bisection of
+	// Solutions 1 and 2 with a previous solve's σ — the continuous
+	// re-solve loop (ctrl's refit cycle, admission's bisections) moves σ
+	// a little per call, so the warm bracket cuts the transform
+	// evaluations without affecting the root. See gm1.Options.WarmSigma.
+	WarmSigma float64
 	// WarmStart seeds Solution 0 with the modulator law × geometric queue
 	// product guess (default true via warmStart()).
 	DisableWarmStart bool
@@ -163,7 +169,7 @@ func solution2(m *core.Model, opts *Options) (Result, error) {
 	}
 	ia := m.Interarrival()
 	lam := ia.MeanRate()
-	res, err := gm1.Solve(ia.Laplace, lam, muMsg, &gm1.Options{Method: opts.SigmaMethod, Tol: opts.tol(), Ctx: opts.Ctx})
+	res, err := gm1.Solve(ia.Laplace, lam, muMsg, &gm1.Options{Method: opts.SigmaMethod, Tol: opts.tol(), WarmSigma: opts.WarmSigma, Ctx: opts.Ctx})
 	if err != nil {
 		return Result{}, fmt.Errorf("solver: solution 2: %w", err)
 	}
@@ -207,7 +213,7 @@ func solution2Bounded(m *core.Model, maxUsers, maxApps int, opts *Options) (Resu
 	if err != nil {
 		return Result{}, err
 	}
-	res, err := gm1.Solve(mix.Laplace, mix.MeanRate, muMsg, &gm1.Options{Method: opts.SigmaMethod, Tol: opts.tol(), Ctx: opts.Ctx})
+	res, err := gm1.Solve(mix.Laplace, mix.MeanRate, muMsg, &gm1.Options{Method: opts.SigmaMethod, Tol: opts.tol(), WarmSigma: opts.WarmSigma, Ctx: opts.Ctx})
 	if err != nil {
 		return Result{}, fmt.Errorf("solver: bounded solution 2: %w", err)
 	}
@@ -278,7 +284,7 @@ func solution1(m *core.Model, opts *Options) (Result, error) {
 		}
 		return v
 	}
-	res, err := gm1.Solve(laplace, lam, muMsg, &gm1.Options{Method: opts.SigmaMethod, Tol: opts.tol(), Ctx: opts.Ctx})
+	res, err := gm1.Solve(laplace, lam, muMsg, &gm1.Options{Method: opts.SigmaMethod, Tol: opts.tol(), WarmSigma: opts.WarmSigma, Ctx: opts.Ctx})
 	if err != nil {
 		return Result{}, fmt.Errorf("solver: solution 1: %w", err)
 	}

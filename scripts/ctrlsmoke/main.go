@@ -1,0 +1,235 @@
+// Command ctrlsmoke is the `make ctrl-smoke` gate: it builds cmd/hapd,
+// boots it with one stream on an ephemeral port, feeds a short UDP
+// burst, polls the decision API until an admission decision is served,
+// asserts the hap_ctrl_* metric families are live, then SIGTERMs the
+// daemon and requires a clean drained exit.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"hap/internal/netgen"
+)
+
+// required are the control-plane families the observability contract
+// promises once at least one refit → solve → admit cycle has run.
+var required = []string{
+	"hap_ctrl_streams",
+	"hap_ctrl_arrivals_total",
+	"hap_ctrl_refits_total",
+	"hap_ctrl_solves_total",
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ctrl-smoke:", err)
+		os.Exit(1)
+	}
+	fmt.Println("ctrl-smoke: ok")
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "ctrlsmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	bin := filepath.Join(dir, "hapd")
+
+	build := exec.Command("go", "build", "-o", bin, "./cmd/hapd")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("build hapd: %w", err)
+	}
+
+	// Small refit/window thresholds so one short burst crosses a full
+	// fit → solve → admit cycle.
+	cmd := exec.Command(bin,
+		"-listen", "127.0.0.1:0",
+		"-mu3", "1e5",
+		"-target", "0.01",
+		"-refit", "200",
+		"-min-window", "32",
+		"-window", "600")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+
+	udpAddr, apiAddr, rest, err := awaitAddrs(stdout)
+	if err != nil {
+		return err
+	}
+
+	if err := feed(udpAddr, 1200); err != nil {
+		return err
+	}
+
+	if err := awaitDecision("http://" + apiAddr + "/v1/streams/s0/admit"); err != nil {
+		return err
+	}
+
+	page, err := scrape("http://" + apiAddr + "/metrics")
+	if err != nil {
+		return err
+	}
+	var missing []string
+	for _, name := range required {
+		if !strings.Contains(page, name) {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("exposition missing %v\n--- page ---\n%s", missing, page)
+	}
+
+	// SIGTERM must drain: exit 0 and announce the drain on stdout. Read
+	// the pipe to EOF before Wait — Wait closes it and would discard the
+	// drain line.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	var out string
+	select {
+	case out = <-rest:
+	case <-time.After(30 * time.Second):
+		return fmt.Errorf("hapd did not exit within 30s of SIGTERM")
+	}
+	if err := cmd.Wait(); err != nil {
+		return fmt.Errorf("hapd exited non-zero after SIGTERM: %w", err)
+	}
+	if !strings.Contains(out, "hapd: drained") {
+		return fmt.Errorf("missing drain announcement; stdout tail: %.200s", out)
+	}
+	return nil
+}
+
+// awaitAddrs reads the child's stdout until both the stream and API
+// address announcements, then keeps draining the pipe in the background
+// and delivers the remaining output on the returned channel.
+func awaitAddrs(r io.Reader) (udp, api string, rest <-chan string, err error) {
+	sc := bufio.NewScanner(r)
+	type addrs struct{ udp, api string }
+	got := make(chan addrs, 1)
+	tail := make(chan string, 1)
+	go func() {
+		var a addrs
+		var buf bytes.Buffer
+		sent := false
+		for sc.Scan() {
+			line := sc.Text()
+			buf.WriteString(line)
+			buf.WriteByte('\n')
+			if v, ok := strings.CutPrefix(line, "stream s0: udp "); ok {
+				a.udp = v
+			}
+			if v, ok := strings.CutPrefix(line, "api: http://"); ok {
+				a.api = v
+			}
+			if !sent && a.udp != "" && a.api != "" {
+				got <- a
+				sent = true
+			}
+		}
+		if !sent {
+			close(got)
+		}
+		tail <- buf.String()
+	}()
+	select {
+	case a, ok := <-got:
+		if !ok {
+			return "", "", nil, fmt.Errorf("hapd exited without announcing its addresses")
+		}
+		return a.udp, a.api, tail, nil
+	case <-time.After(30 * time.Second):
+		return "", "", nil, fmt.Errorf("timed out waiting for hapd address announcements")
+	}
+}
+
+// feed sends n sequenced packets to the stream sink, paced so the
+// fitted window spans a measurable interval.
+func feed(addr string, n int) error {
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	var buf []byte
+	for i := 1; i <= n; i++ {
+		buf = netgen.Packet{Seq: uint64(i)}.Encode(buf[:0])
+		if _, err := conn.Write(buf); err != nil {
+			return err
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	return nil
+}
+
+// awaitDecision polls the admit endpoint until it serves a decision
+// (200 with an "admit" field — 503 means the stream is still warming).
+func awaitDecision(url string) error {
+	client := &http.Client{Timeout: 5 * time.Second}
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := client.Get(url)
+		if err != nil {
+			time.Sleep(100 * time.Millisecond)
+			continue
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			var dec struct {
+				Admit    *bool   `json:"admit"`
+				Headroom float64 `json:"headroom"`
+			}
+			if err := json.Unmarshal(body, &dec); err != nil {
+				return fmt.Errorf("admit response is not JSON: %.200s", body)
+			}
+			if dec.Admit == nil {
+				return fmt.Errorf("admit response missing admit field: %.200s", body)
+			}
+			return nil
+		}
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			return fmt.Errorf("GET %s: %s: %.200s", url, resp.Status, body)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return fmt.Errorf("no admission decision served within 30s")
+}
+
+func scrape(url string) (string, error) {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	return string(body), err
+}
