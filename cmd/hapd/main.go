@@ -1,16 +1,21 @@
 // Command hapd is the live traffic control plane daemon: it ingests one
 // or more UDP packet streams, continuously re-fits an MMPP2 over a
-// sliding window of each, re-solves the expected G/M/1 delay with warm
-// starts, evaluates the admission bound, and serves decisions next to
-// /metrics.
+// sliding window of each on a shared fit-worker pool, re-solves the
+// expected G/M/1 delay with warm starts, evaluates the admission bound
+// per stream and over the superposed aggregate process, and serves
+// decisions next to /metrics.
 //
-// Serve two streams, a 50/s service rate and a 100 ms delay target:
+// Serve two streams on a 2-worker pool, a 50/s service rate and a
+// 100 ms delay target, with a tighter 20 ms target on the first stream:
 //
-//	go run ./cmd/hapd -listen 127.0.0.1:0,127.0.0.1:0 -mu3 50 -target 0.1
+//	go run ./cmd/hapd -listen 127.0.0.1:0,127.0.0.1:0 -workers 2 \
+//	    -mu3 50 -target 0.1 -targets 0.02,
 //
 // Point hapgen at a printed stream address, then:
 //
 //	curl http://<api>/v1/streams/s0/admit
+//	curl http://<api>/v1/streams/s0/history
+//	curl http://<api>/v1/aggregate/admit
 //
 // SIGTERM (or SIGINT) drains: every stream flushes a final fit before
 // the process exits 0.
@@ -23,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -47,6 +53,12 @@ func main() {
 		method  = flag.String("method", "bisect", "G/M/1 sigma solver: bisect | paper")
 		emIter  = flag.Int("em-max-iter", 0, "MMPP2 EM iteration budget per refit (0 = default)")
 		timeout = flag.Duration("timeout", 0, "exit after this long (0 = run until signalled)")
+
+		workers = flag.Int("workers", 0, "shared fit-worker pool size (0 = one per stream)")
+		history = flag.Int("history", 0, "per-stream decision history ring capacity (0 = default 64, negative disables)")
+		aggMax  = flag.Int("agg-states", 0, "superposed aggregate chain state cap (0 = default 256)")
+		targets = flag.String("targets", "", "comma-separated per-stream delay targets aligned with -listen; empty entries inherit -target")
+		rates   = flag.String("rates", "", "comma-separated per-stream service rates aligned with -listen; empty entries inherit -mu3")
 	)
 	flag.Parse()
 	if !(*mu3 > 0) || !(*target > 0) {
@@ -65,8 +77,16 @@ func main() {
 		os.Exit(haperr.ExitUsage)
 	}
 
+	addrs := strings.Split(*listen, ",")
+	overrides, err := parseOverrides(*targets, *rates, len(addrs))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hapd:", err)
+		os.Exit(haperr.ExitUsage)
+	}
+
 	d, err := ctrl.New(ctrl.Config{
-		ListenAddrs: strings.Split(*listen, ","),
+		ListenAddrs: addrs,
+		Overrides:   overrides,
 		HTTPAddr:    *httpA,
 		ServiceRate: *mu3,
 		TargetDelay: *target,
@@ -74,9 +94,12 @@ func main() {
 		RefitEvery:  *refitN,
 		Window:      *window,
 		MinWindow:   *minWin,
-		StaleAfter:  *stale,
-		Method:      sigma,
-		EM:          fit.EMOptions{MaxIter: *emIter},
+		StaleAfter:         *stale,
+		Workers:            *workers,
+		HistorySize:        *history,
+		MaxAggregateStates: *aggMax,
+		Method:             sigma,
+		EM:                 fit.EMOptions{MaxIter: *emIter},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hapd:", err)
@@ -100,4 +123,41 @@ func main() {
 		os.Exit(haperr.ExitCode(err))
 	}
 	fmt.Println("hapd: drained")
+}
+
+// parseOverrides zips the -targets and -rates comma lists into
+// per-stream overrides. Each list aligns with -listen; empty entries
+// (and a missing tail) inherit the global -target / -mu3.
+func parseOverrides(targets, rates string, n int) ([]ctrl.StreamOverride, error) {
+	if targets == "" && rates == "" {
+		return nil, nil
+	}
+	out := make([]ctrl.StreamOverride, n)
+	set := func(list, flagName string, field func(i int, v float64)) error {
+		if list == "" {
+			return nil
+		}
+		parts := strings.Split(list, ",")
+		if len(parts) > n {
+			return fmt.Errorf("-%s lists %d entries for %d streams", flagName, len(parts), n)
+		}
+		for i, p := range parts {
+			if p = strings.TrimSpace(p); p == "" {
+				continue // inherit
+			}
+			v, err := strconv.ParseFloat(p, 64)
+			if err != nil || !(v > 0) {
+				return fmt.Errorf("-%s entry %d: want a positive number, got %q", flagName, i, p)
+			}
+			field(i, v)
+		}
+		return nil
+	}
+	if err := set(targets, "targets", func(i int, v float64) { out[i].TargetDelay = v }); err != nil {
+		return nil, err
+	}
+	if err := set(rates, "rates", func(i int, v float64) { out[i].ServiceRate = v }); err != nil {
+		return nil, err
+	}
+	return out, nil
 }

@@ -57,11 +57,17 @@ func MaxWorkloadOpt(m *core.Model, targetDelay, fMax float64, tol float64, sopt 
 		return res.Delay, true
 	}
 	// The delay is increasing in f; make sure even a tiny load meets the
-	// target.
+	// target. The probe point itself becomes the bisection's feasible
+	// lower bound: if every interior evaluation fails (the solver can be
+	// unstable across the whole band), the search must still return this
+	// just-proven operating point, not ErrInfeasible.
+	const probe = 1e-6
 	lo, hi := 0.0, fMax
-	if d, ok := eval(1e-6); !ok || d > targetDelay {
+	d0, ok := eval(probe)
+	if !ok || d0 > targetDelay {
 		return 0, 0, ErrInfeasible
 	}
+	lo, delay = probe, d0
 	if d, ok := eval(fMax); ok && d <= targetDelay {
 		return fMax, d, nil
 	}
@@ -73,9 +79,6 @@ func MaxWorkloadOpt(m *core.Model, targetDelay, fMax float64, tol float64, sopt 
 		} else {
 			hi = mid
 		}
-	}
-	if lo == 0 {
-		return 0, 0, ErrInfeasible
 	}
 	return lo, delay, nil
 }
@@ -116,10 +119,16 @@ func MaxScale(laplaceAt func(scale float64) gm1.Laplace, rateAt func(scale float
 		opts.WarmSigma = res.Sigma
 		return res.Delay, true
 	}
+	// As in MaxWorkloadOpt, the successful tiny-load probe seeds the
+	// feasible bound so an all-failing interior band still returns the
+	// proven point instead of ErrInfeasible.
+	const probe = 1e-6
 	lo, hi := 0.0, fMax
-	if d, ok := eval(1e-6); !ok || d > targetDelay {
+	d0, ok := eval(probe)
+	if !ok || d0 > targetDelay {
 		return 0, 0, ErrInfeasible
 	}
+	lo, delay = probe, d0
 	if d, ok := eval(fMax); ok && d <= targetDelay {
 		return fMax, d, nil
 	}
@@ -131,9 +140,6 @@ func MaxScale(laplaceAt func(scale float64) gm1.Laplace, rateAt func(scale float
 		} else {
 			hi = mid
 		}
-	}
-	if lo == 0 {
-		return 0, 0, ErrInfeasible
 	}
 	return lo, delay, nil
 }

@@ -241,3 +241,78 @@ func TestMaxScaleOnTransform(t *testing.T) {
 		t.Errorf("saturated search = %v, %v; want fMax=2, nil", f, err)
 	}
 }
+
+// TestMaxScaleAllMidsFail pins the unstable-band bugfix: when the
+// tiny-load probe is feasible but every interior bisection evaluation
+// fails (solver unstable across the whole band), the search must return
+// the just-proven feasible point, not ErrInfeasible with delay 0.
+func TestMaxScaleAllMidsFail(t *testing.T) {
+	const mu = 20.0
+	cases := []struct {
+		name string
+		// feasibleBelow is the scale above which every evaluation fails
+		// (rate driven to ρ ≥ 1).
+		feasibleBelow float64
+	}{
+		{"all interior evals unstable", 5e-6},
+		{"band collapses just above the probe", 1.1e-6},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Below the threshold: a gentle Poisson stream. Above: a rate
+			// at ρ ≥ 1, which eval rejects before solving.
+			rateAt := func(f float64) float64 {
+				if f <= tc.feasibleBelow {
+					return 5 * f / tc.feasibleBelow // well under mu
+				}
+				return 2 * mu
+			}
+			laplaceAt := func(f float64) gm1.Laplace {
+				l := rateAt(f)
+				return func(s float64) float64 { return l / (l + s) }
+			}
+			f, delay, err := MaxScale(laplaceAt, rateAt, mu, 1.0, 4, 1e-4)
+			if err != nil {
+				t.Fatalf("feasible probe point lost: %v", err)
+			}
+			if f != 1e-6 {
+				t.Errorf("scale = %v, want the probe point 1e-6", f)
+			}
+			if !(delay > 0) || delay > 1.0 {
+				t.Errorf("delay = %v, want the probe's feasible delay in (0, target]", delay)
+			}
+		})
+	}
+	// A genuinely infeasible probe still reports ErrInfeasible.
+	badRate := func(f float64) float64 { return 2 * mu }
+	badLap := func(f float64) gm1.Laplace {
+		return func(s float64) float64 { return 1 }
+	}
+	if _, _, err := MaxScale(badLap, badRate, mu, 1.0, 4, 0); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("expected ErrInfeasible, got %v", err)
+	}
+}
+
+// TestMaxWorkloadOptAllMidsFail is the model-level twin: a model whose
+// tiny-load scaling is solvable but whose interior band is unstable must
+// return the probe point.
+func TestMaxWorkloadOptAllMidsFail(t *testing.T) {
+	m := core.PaperParams(20)
+	// Find a target the near-zero-load system meets but f=tol-scale loads
+	// do not: the bare service time plus a hair.
+	probe, err := solver.Solution2(m.Scale(core.LevelUser, 1e-6), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := probe.Delay * 1.0001
+	f, delay, err := MaxWorkloadOpt(m, target, 4, 1e-4, nil)
+	if err != nil {
+		t.Fatalf("feasible probe point lost: %v", err)
+	}
+	if f < 1e-6 {
+		t.Errorf("f = %v, want >= the probe point 1e-6", f)
+	}
+	if delay > target {
+		t.Errorf("delay %v exceeds target %v", delay, target)
+	}
+}

@@ -17,11 +17,16 @@ import (
 //	GET /v1/streams/{id}/fit        latest fitted window (fit.RefitReport + state)
 //	GET /v1/streams/{id}/delay      latest delay forecast
 //	GET /v1/streams/{id}/admit      admission decision
+//	GET /v1/streams/{id}/history    decision history ring (oldest first)
+//	GET /v1/aggregate/fit           superposed fitted process summary
+//	GET /v1/aggregate/delay         merged-workload delay forecast
+//	GET /v1/aggregate/admit         aggregate admission decision
 //	GET /metrics, /debug/vars       obs exposition
 //
 // Decision endpoints return 503 with a JSON error while a stream warms
-// up; once a fit exists they always answer, flagging degraded/stale
-// state instead of erroring.
+// up (the aggregate: while no stream has fitted); once a fit exists
+// they always answer, flagging degraded/stale state instead of
+// erroring.
 type apiServer struct {
 	d   *Daemon
 	ln  net.Listener
@@ -39,6 +44,10 @@ func newAPIServer(d *Daemon, addr string) (*apiServer, error) {
 	mux.HandleFunc("GET /v1/streams/{id}/fit", a.stream(a.handleFit))
 	mux.HandleFunc("GET /v1/streams/{id}/delay", a.stream(a.handleDelay))
 	mux.HandleFunc("GET /v1/streams/{id}/admit", a.stream(a.handleAdmit))
+	mux.HandleFunc("GET /v1/streams/{id}/history", a.stream(a.handleHistory))
+	mux.HandleFunc("GET /v1/aggregate/fit", a.handleAggFit)
+	mux.HandleFunc("GET /v1/aggregate/delay", a.handleAggDelay)
+	mux.HandleFunc("GET /v1/aggregate/admit", a.handleAggAdmit)
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = obs.Default.WritePrometheus(w)
@@ -89,6 +98,8 @@ type streamInfo struct {
 	Arrivals      int64   `json:"arrivals"`
 	WindowN       int     `json:"window_n"`
 	FitAgeSeconds float64 `json:"fit_age_seconds"`
+	TargetSeconds float64 `json:"target_seconds"` // effective (possibly overridden) delay target
+	ServiceRate   float64 `json:"service_rate"`   // effective (possibly overridden) service rate
 }
 
 func (a *apiServer) handleStreams(w http.ResponseWriter, _ *http.Request) {
@@ -97,11 +108,13 @@ func (a *apiServer) handleStreams(w http.ResponseWriter, _ *http.Request) {
 	for _, s := range a.d.streams {
 		pub := s.snapshot()
 		info := streamInfo{
-			ID:       s.ID,
-			Addr:     s.Addr(),
-			State:    s.state(now),
-			Arrivals: s.arrivals.Load(),
-			WindowN:  pub.fit.WindowN, // last published window; live count is ingest-owned
+			ID:            s.ID,
+			Addr:          s.Addr(),
+			State:         s.state(now),
+			Arrivals:      s.arrivals.Load(),
+			WindowN:       pub.fit.WindowN, // last published window; live count is ingest-owned
+			TargetSeconds: s.TargetDelay(),
+			ServiceRate:   s.ServiceRate(),
 		}
 		if pub.hasFit {
 			info.FitAgeSeconds = now.Sub(pub.fitAt).Seconds()
@@ -198,7 +211,7 @@ func (a *apiServer) handleAdmit(w http.ResponseWriter, _ *http.Request, s *Strea
 		writeJSON(w, http.StatusOK, admitResponse{
 			ID: s.ID, State: s.state(now), Stale: s.stale(pub, now), Degraded: true,
 			FitAgeSeconds: now.Sub(pub.fitAt).Seconds(),
-			decision: decision{Admit: false, Target: s.cfg.TargetDelay,
+			decision: decision{Admit: false, Target: s.target,
 				Reason: "no admission bound available: " + pub.solveMsg},
 		})
 		return
@@ -213,6 +226,126 @@ func (a *apiServer) handleAdmit(w http.ResponseWriter, _ *http.Request, s *Strea
 		Stale:         s.stale(pub, now),
 		Degraded:      degraded,
 		FitAgeSeconds: now.Sub(pub.fitAt).Seconds(),
+		decision:      pub.dec,
+	})
+}
+
+// historyResponse is the /history schema: the decision ring oldest
+// first, plus the capacity so a caller can tell a short run from a
+// wrapped ring.
+type historyResponse struct {
+	ID       string          `json:"id"`
+	Capacity int             `json:"capacity"`
+	Records  []HistoryRecord `json:"records"`
+}
+
+func (a *apiServer) handleHistory(w http.ResponseWriter, _ *http.Request, s *Stream) {
+	writeJSON(w, http.StatusOK, historyResponse{
+		ID:       s.ID,
+		Capacity: len(s.hist),
+		Records:  s.history(),
+	})
+}
+
+// aggFitResponse is the /v1/aggregate/fit schema.
+type aggFitResponse struct {
+	Streams       []string `json:"streams"`
+	States        int      `json:"states"`
+	MeanRate      float64  `json:"mean_rate"`
+	FitAgeSeconds float64  `json:"fit_age_seconds"`
+}
+
+// aggDelayResponse is the /v1/aggregate/delay schema.
+type aggDelayResponse struct {
+	Streams      []string `json:"streams"`
+	Degraded     bool     `json:"degraded"`
+	DelaySeconds float64  `json:"delay_seconds"`
+	Sigma        float64  `json:"sigma"`
+	Rho          float64  `json:"rho"`
+	SolveError   string   `json:"solve_error,omitempty"`
+}
+
+// aggAdmitResponse is the /v1/aggregate/admit schema: the merged
+// decision plus which contributing streams denied on their own.
+type aggAdmitResponse struct {
+	Streams       []string `json:"streams"`
+	DeniedStreams []string `json:"denied_streams"`
+	States        int      `json:"states"`
+	Degraded      bool     `json:"degraded"`
+	FitAgeSeconds float64  `json:"fit_age_seconds"`
+	decision
+}
+
+// aggSnapshot 503s while no stream has published a fit; afterwards the
+// aggregate endpoints always answer, flagging degraded state instead.
+func (a *apiServer) aggSnapshot(w http.ResponseWriter) (aggPublished, bool) {
+	pub := a.d.agg.snapshot()
+	if !pub.ok {
+		writeError(w, http.StatusServiceUnavailable, "warming: no stream has published a fit yet")
+		return pub, false
+	}
+	if pub.denied == nil {
+		pub.denied = []string{} // serialize as [], not null
+	}
+	return pub, true
+}
+
+func (a *apiServer) handleAggFit(w http.ResponseWriter, _ *http.Request) {
+	pub, ok := a.aggSnapshot(w)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, aggFitResponse{
+		Streams:       pub.streams,
+		States:        pub.states,
+		MeanRate:      pub.meanRate,
+		FitAgeSeconds: time.Since(pub.at).Seconds(),
+	})
+}
+
+func (a *apiServer) handleAggDelay(w http.ResponseWriter, _ *http.Request) {
+	pub, ok := a.aggSnapshot(w)
+	if !ok {
+		return
+	}
+	if !pub.solveOK {
+		obsDegradedDecisions.Inc()
+	}
+	writeJSON(w, http.StatusOK, aggDelayResponse{
+		Streams:      pub.streams,
+		Degraded:     !pub.solveOK,
+		DelaySeconds: pub.delay,
+		Sigma:        pub.sigma,
+		Rho:          pub.rho,
+		SolveError:   pub.solveMsg,
+	})
+}
+
+func (a *apiServer) handleAggAdmit(w http.ResponseWriter, _ *http.Request) {
+	pub, ok := a.aggSnapshot(w)
+	if !ok {
+		return
+	}
+	if !pub.admitOK {
+		// A fit exists but no aggregate bound could be computed (state
+		// cap, superposition or solve failure). Degrade, don't error:
+		// deny with reason, mirroring the per-stream path.
+		obsDegradedDecisions.Inc()
+		writeJSON(w, http.StatusOK, aggAdmitResponse{
+			Streams: pub.streams, DeniedStreams: pub.denied, States: pub.states,
+			Degraded:      true,
+			FitAgeSeconds: time.Since(pub.at).Seconds(),
+			decision: decision{Admit: false, Target: a.d.cfg.TargetDelay,
+				Reason: "no aggregate admission bound available: " + pub.solveMsg},
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, aggAdmitResponse{
+		Streams:       pub.streams,
+		DeniedStreams: pub.denied,
+		States:        pub.states,
+		Degraded:      !pub.solveOK,
+		FitAgeSeconds: time.Since(pub.at).Seconds(),
 		decision:      pub.dec,
 	})
 }

@@ -37,4 +37,30 @@ var (
 		"Decisions served from a degraded fit (stale window, budget-exhausted EM, or failed solve).")
 	obsFitAgeMax = obs.NewFloatGauge("hap_ctrl_fit_age_seconds_max",
 		"Age of the oldest published fit across streams — staleness at a glance.")
+	obsSigmaResets = obs.NewCounter("hap_ctrl_sigma_warm_resets_total",
+		"Warm-start sigma chains cleared after a solve failure or a >2x fitted-rate jump (regime shift).")
+
+	// Shared fit-worker pool.
+	obsPoolWorkers = obs.NewGauge("hap_ctrl_pool_workers",
+		"Fit workers draining the shared snapshot queue.")
+	obsPoolDepth = obs.NewGauge("hap_ctrl_pool_queue_depth",
+		"Window snapshots waiting in the shared pool queue.")
+	obsPoolJobs = obs.NewCounter("hap_ctrl_pool_jobs_total",
+		"Window snapshots accepted onto the shared pool queue.")
+	obsPoolRejects = obs.NewCounter("hap_ctrl_pool_rejects_total",
+		"Refit cycles dropped because the shared pool queue was full — drops-not-blocks at pool scope.")
+
+	// Aggregate (superposed) admission cycle.
+	obsAggStreams = obs.NewGauge("hap_ctrl_aggregate_streams",
+		"Streams contributing a fitted MMPP2 to the current aggregate superposition.")
+	obsAggStates = obs.NewGauge("hap_ctrl_aggregate_states",
+		"Modulating-chain states of the superposed aggregate process (2 per fitted stream).")
+	obsAggSolves = obs.NewCounter("hap_ctrl_aggregate_solves_total",
+		"Delay solves over the superposed aggregate process.")
+	obsAggSolveErrors = obs.NewCounter("hap_ctrl_aggregate_solve_errors_total",
+		"Aggregate solves that failed or were skipped (unstable merged load, state-space cap).")
+	obsAggAllowed = obs.NewCounter("hap_ctrl_aggregate_admit_allowed_total",
+		"Aggregate admission evaluations where both the merged headroom and every per-stream decision admit.")
+	obsAggDenied = obs.NewCounter("hap_ctrl_aggregate_admit_denied_total",
+		"Aggregate admission evaluations denying: merged headroom < 1, a per-stream deny, or an unstable merged load.")
 )

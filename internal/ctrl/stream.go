@@ -1,17 +1,22 @@
 // Package ctrl is the live traffic control plane: it closes the paper's
 // loop as a long-running service. Each stream is a UDP sink whose
 // arrivals feed a sliding-window TraceStats; every RefitEvery arrivals a
-// snapshot of the window crosses a bounded hand-off to a per-stream fit
-// worker, which re-runs the warm-started MMPP2 EM, re-solves the G/M/1
-// expected delay from the fitted process's exact interarrival transform
-// (σ warm-started from the previous cycle), and evaluates the paper's
-// admission bound. Decisions, fitted parameters and delay forecasts are
-// served over HTTP next to /metrics.
+// snapshot of the window crosses a bounded hand-off to a shared pool of
+// fit workers, which re-runs the warm-started MMPP2 EM, re-solves the
+// G/M/1 expected delay from the fitted process's exact interarrival
+// transform (σ warm-started from the previous cycle), and evaluates the
+// paper's admission bound against the stream's delay target. On top of
+// the per-stream loop, the daemon superposes the fitted processes
+// (Kronecker-sum merge) and solves the aggregate: admission of the
+// merged workload is a property of the merged arrival process, not any
+// single stream. Decisions, fitted parameters, delay forecasts, and a
+// per-stream decision history ring are served over HTTP next to
+// /metrics.
 //
-// Robustness contract: fit and solve never block ingest (a busy worker
-// drops the cycle and counts it), and a stale or budget-exhausted window
-// degrades the served decision — flagged, never erroring — to the last
-// good fit.
+// Robustness contract: fit and solve never block ingest (a stream with
+// a snapshot already in flight, or a full pool queue, drops the cycle
+// and counts it), and a stale or budget-exhausted window degrades the
+// served decision — flagged, never erroring — to the last good fit.
 package ctrl
 
 import (
@@ -34,13 +39,15 @@ const (
 	StateWarming  = "warming"  // no fit published yet
 	StateLive     = "live"     // fresh, converged fit behind the decisions
 	StateDegraded = "degraded" // decisions served from a stale or budget-exhausted fit
-	StateClosed   = "closed"   // drained; final fit flushed
+	StateClosed   = "closed"   // sink closed; drain owns the final flush
 )
 
 // refitJob is one window snapshot crossing from the ingest goroutine to
-// the fit worker. Jobs are pooled (two per stream): at steady state the
-// hand-off reuses the same buffers and allocates nothing.
+// a pool worker. Jobs are pooled (two buffers per stream): at steady
+// state the hand-off reuses the same buffers and allocates nothing. The
+// stream pointer routes the job back to its owner on the shared queue.
 type refitJob struct {
+	s          *Stream
 	times      []float64
 	windowN    int
 	windowRate float64
@@ -59,8 +66,22 @@ type decision struct {
 	Reason   string  `json:"reason,omitempty"`
 }
 
+// HistoryRecord is one completed fit→solve→admit cycle as retained by
+// the per-stream decision history ring: enough provenance to see the
+// regime shift that flipped a decision.
+type HistoryRecord struct {
+	At           time.Time       `json:"at"`
+	Fit          fit.RefitReport `json:"fit"`
+	SolveOK      bool            `json:"solve_ok"`
+	DelaySeconds float64         `json:"delay_seconds"`
+	Sigma        float64         `json:"sigma"`
+	Rho          float64         `json:"rho"`
+	AdmitOK      bool            `json:"admit_ok"`
+	Decision     decision        `json:"decision"`
+}
+
 // published is the stream state visible to the HTTP layer, replaced
-// wholesale by the worker under the mutex.
+// wholesale by the fitting worker under the mutex.
 type published struct {
 	hasFit    bool
 	fit       fit.RefitReport
@@ -77,47 +98,72 @@ type published struct {
 	dec     decision
 }
 
-// Stream is one ingested packet stream with its private fit/solve/admit
-// pipeline. All fields below the mutex are owned by the fit worker; the
-// TraceStats is owned by the ingest goroutine; the two communicate only
-// through the job channels.
+// Stream is one ingested packet stream with its fit/solve/admit
+// pipeline. The Refitter, σ chain and rate memory below are touched by
+// at most one pool worker at a time (the inflight gate admits a single
+// job per stream); the TraceStats is owned by the ingest goroutine; the
+// two sides communicate only through the pooled job buffers.
 type Stream struct {
 	ID   string
 	sink *netgen.Sink
 	cfg  *Config
 
+	// target and svcRate are the effective per-stream admission delay
+	// target and service rate (Config values unless overridden).
+	target  float64
+	svcRate float64
+
 	epoch    time.Time
 	arrivals atomic.Int64
-	closed   atomic.Bool
+	closed   atomic.Bool // drain finished: final fit flushed
+	draining atomic.Bool // sink closed: no further arrivals possible
 
 	ts   *fit.TraceStats
 	rf   fit.Refitter
-	jobs chan *refitJob
+	pool *pool
 	free chan *refitJob
+	// inflight gates the stream to one snapshot in the pool at a time:
+	// it keeps per-stream jobs ordered (FIFO queue, single consumer per
+	// stream) and makes the Refitter/σ state single-writer without a
+	// lock on the fit path.
+	inflight atomic.Bool
 
 	warmSigma float64 // worker-local σ chain across solve cycles
+	lastRate  float64 // fitted mean rate of the previous cycle (σ reset guard)
 
-	mu  sync.Mutex
-	pub published
+	mu       sync.Mutex
+	pub      published
+	hist     []HistoryRecord // fixed-size ring, capacity cfg.HistorySize
+	histNext int
+	histLen  int
 }
 
-func newStream(id string, sink *netgen.Sink, cfg *Config) (*Stream, error) {
+func newStream(id string, sink *netgen.Sink, cfg *Config, p *pool, ov StreamOverride) (*Stream, error) {
 	ts, err := fit.NewTraceStats(fit.TraceConfig{SlideWindow: cfg.Window})
 	if err != nil {
 		return nil, err
 	}
 	s := &Stream{
-		ID:    id,
-		sink:  sink,
-		cfg:   cfg,
-		epoch: time.Now(),
-		ts:    ts,
-		rf:    fit.Refitter{Opt: cfg.EM},
-		jobs:  make(chan *refitJob, 1),
-		free:  make(chan *refitJob, 2),
+		ID:      id,
+		sink:    sink,
+		cfg:     cfg,
+		target:  cfg.TargetDelay,
+		svcRate: cfg.ServiceRate,
+		epoch:   time.Now(),
+		ts:      ts,
+		rf:      fit.Refitter{Opt: cfg.EM},
+		pool:    p,
+		free:    make(chan *refitJob, 2),
+		hist:    make([]HistoryRecord, cfg.HistorySize),
 	}
-	s.free <- &refitJob{}
-	s.free <- &refitJob{}
+	if ov.TargetDelay > 0 {
+		s.target = ov.TargetDelay
+	}
+	if ov.ServiceRate > 0 {
+		s.svcRate = ov.ServiceRate
+	}
+	s.free <- &refitJob{s: s}
+	s.free <- &refitJob{s: s}
 	if sink != nil {
 		sink.OnArrival = func(_ float64) {
 			// Collect resets its clock on every call, and the ingest loop
@@ -131,6 +177,12 @@ func newStream(id string, sink *netgen.Sink, cfg *Config) (*Stream, error) {
 
 // Addr returns the stream's bound UDP address.
 func (s *Stream) Addr() string { return s.sink.Addr() }
+
+// TargetDelay returns the stream's effective admission delay target.
+func (s *Stream) TargetDelay() float64 { return s.target }
+
+// ServiceRate returns the stream's effective service rate.
+func (s *Stream) ServiceRate() float64 { return s.svcRate }
 
 // ingest is the per-packet hot path, run on the sink's Collect
 // goroutine. It must never block and, at steady state (job buffers
@@ -146,19 +198,26 @@ func (s *Stream) ingest(sec float64) {
 	if n%int64(s.cfg.RefitEvery) != 0 || s.ts.WindowN() < s.cfg.minWindow() {
 		return
 	}
+	// One snapshot per stream in the pool at a time: a stream whose
+	// previous cycle is still queued or fitting drops this one.
+	if !s.inflight.CompareAndSwap(false, true) {
+		obsRefitsSkipped.Inc()
+		return
+	}
 	select {
 	case j := <-s.free:
 		s.fillJob(j)
-		select {
-		case s.jobs <- j:
-		default:
-			// Queue full: hand the buffer back (cap 2, we hold one, so
-			// this send cannot block) and drop the cycle.
+		if !s.pool.enqueue(j) {
+			// Shared queue full: hand the buffer back (cap 2, we hold
+			// one, so this send cannot block) and drop the cycle.
 			s.free <- j
+			s.inflight.Store(false)
 			obsRefitsSkipped.Inc()
 		}
 	default:
-		obsRefitsSkipped.Inc() // both buffers in flight
+		// Both buffers in flight (the drain-time flush holds one).
+		s.inflight.Store(false)
+		obsRefitsSkipped.Inc()
 	}
 }
 
@@ -172,31 +231,17 @@ func (s *Stream) fillJob(j *refitJob) {
 }
 
 // flushFinal runs the drain-time fit: one last synchronous snapshot of
-// whatever the window holds, queued behind any in-flight job. Call only
-// after the ingest goroutine has stopped.
+// whatever the window holds, processed on the calling goroutine. Call
+// only after the ingest goroutine has stopped and the pool has drained
+// (both job buffers are home and nothing else touches the fit state).
 func (s *Stream) flushFinal() {
 	if s.ts.WindowN() < s.cfg.minWindow() {
 		return
 	}
-	j := <-s.free // worker returns buffers after each job; bounded wait
+	j := <-s.free
 	s.fillJob(j)
-	s.jobs <- j
-}
-
-// worker consumes window snapshots until the jobs channel closes. It
-// deliberately ignores the daemon's run context: drain must still flush
-// final fits after SIGTERM, and a single windowed EM + solve is
-// milliseconds of work bounded by its own iteration budgets.
-func (s *Stream) worker(wg *sync.WaitGroup) {
-	defer wg.Done()
-	for j := range s.jobs {
-		s.processJob(j)
-		select {
-		case s.free <- j:
-		default:
-		}
-	}
-	s.closed.Store(true)
+	s.processJob(j)
+	s.free <- j
 }
 
 func (s *Stream) processJob(j *refitJob) {
@@ -237,15 +282,34 @@ func (s *Stream) processJob(j *refitJob) {
 	}
 	s.solveAndAdmit(f.Model, &pub)
 
+	rec := HistoryRecord{
+		At:           pub.fitAt,
+		Fit:          rep,
+		SolveOK:      pub.solveOK,
+		DelaySeconds: pub.delay,
+		Sigma:        pub.sigma,
+		Rho:          pub.rho,
+		AdmitOK:      pub.admitOK,
+		Decision:     pub.dec,
+	}
+
 	s.mu.Lock()
 	s.pub = pub
+	if len(s.hist) > 0 {
+		s.hist[s.histNext] = rec
+		s.histNext = (s.histNext + 1) % len(s.hist)
+		if s.histLen < len(s.hist) {
+			s.histLen++
+		}
+	}
 	s.mu.Unlock()
+	s.pool.fitGen.Add(1)
 }
 
 // solveAndAdmit re-solves the expected delay from the fitted process's
 // exact interarrival transform (the same G/M/1 reduction as Solutions
 // 1/2, σ warm-started from the previous cycle) and evaluates the
-// admission bound.
+// admission bound against the stream's own target and service rate.
 func (s *Stream) solveAndAdmit(m mmpp.MMPP2, pub *published) {
 	start := time.Now()
 	defer func() { obsSolveTime.Observe(time.Since(start)) }()
@@ -256,16 +320,31 @@ func (s *Stream) solveAndAdmit(m mmpp.MMPP2, pub *published) {
 		return
 	}
 	lam := m.MeanRate()
-	res, err := gm1.Solve(gm1.Laplace(lap), lam, s.cfg.ServiceRate,
+	// A regime shift invalidates the σ chain: a stale σ from a very
+	// different load would seed the next bracket expansion far from the
+	// root. Clear it when the fitted mean rate jumps more than 2× in
+	// either direction.
+	if s.warmSigma != 0 && s.lastRate > 0 && (lam > 2*s.lastRate || lam < s.lastRate/2) {
+		s.warmSigma = 0
+		obsSigmaResets.Inc()
+	}
+	s.lastRate = lam
+	res, err := gm1.Solve(gm1.Laplace(lap), lam, s.svcRate,
 		&gm1.Options{Method: s.cfg.Method, WarmSigma: s.warmSigma})
 	obsSolves.Inc()
 	if err != nil {
 		obsSolveErrors.Inc()
+		// A failed solve must not seed the next cycle: the σ chain is
+		// only as good as its last success.
+		if s.warmSigma != 0 {
+			s.warmSigma = 0
+			obsSigmaResets.Inc()
+		}
 		pub.solveMsg = err.Error()
 		// Unstable fitted load is itself a decision: deny with reason.
 		if errors.Is(err, haperr.ErrUnstable) {
 			pub.admitOK = true
-			pub.dec = decision{Admit: false, Target: s.cfg.TargetDelay,
+			pub.dec = decision{Admit: false, Target: s.target,
 				Reason: "fitted load unstable at the configured service rate"}
 			obsAdmitDenied.Inc()
 		}
@@ -282,11 +361,11 @@ func (s *Stream) solveAndAdmit(m mmpp.MMPP2, pub *published) {
 	}
 	rateAt := func(f float64) float64 { return f * lam }
 	scale, _, err := admission.MaxScale(laplaceAt, rateAt,
-		s.cfg.ServiceRate, s.cfg.TargetDelay, s.cfg.FMax, 0)
+		s.svcRate, s.target, s.cfg.FMax, 0)
 	pub.admitOK = true
 	switch {
 	case errors.Is(err, admission.ErrInfeasible):
-		pub.dec = decision{Admit: false, Target: s.cfg.TargetDelay,
+		pub.dec = decision{Admit: false, Target: s.target,
 			Delay: res.Delay, Reason: "target delay infeasible for the fitted process"}
 	case err != nil:
 		pub.admitOK = false
@@ -296,7 +375,7 @@ func (s *Stream) solveAndAdmit(m mmpp.MMPP2, pub *published) {
 			Admit:    scale >= 1,
 			Headroom: scale,
 			Delay:    res.Delay,
-			Target:   s.cfg.TargetDelay,
+			Target:   s.target,
 		}
 		if !pub.dec.Admit {
 			pub.dec.Reason = "observed load exceeds the admissible workload for the delay target"
@@ -318,9 +397,24 @@ func (s *Stream) snapshot() published {
 	return s.pub
 }
 
-// state derives the lifecycle state at the given instant.
+// history copies the decision ring in chronological order.
+func (s *Stream) history() []HistoryRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]HistoryRecord, 0, s.histLen)
+	start := s.histNext - s.histLen
+	for i := 0; i < s.histLen; i++ {
+		out = append(out, s.hist[(start+i+len(s.hist))%len(s.hist)])
+	}
+	return out
+}
+
+// state derives the lifecycle state at the given instant. A stream
+// whose sink has closed reports closed immediately — the drain owns it
+// from that moment, deterministically, rather than whenever its last
+// worker cycle happens to finish.
 func (s *Stream) state(now time.Time) string {
-	if s.closed.Load() {
+	if s.closed.Load() || s.draining.Load() {
 		return StateClosed
 	}
 	pub := s.snapshot()

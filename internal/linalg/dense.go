@@ -145,6 +145,18 @@ func (d *Dense) Scale(s float64) {
 	}
 }
 
+// AddToDiag adds s to every diagonal element of a square matrix — the
+// resolvent-building step (sI + M) the interarrival-transform evaluators
+// perform once per Laplace argument.
+func (d *Dense) AddToDiag(s float64) {
+	if d.R != d.C {
+		panic("linalg: AddToDiag needs a square matrix")
+	}
+	for i := 0; i < d.R; i++ {
+		d.A[i*d.C+i] += s
+	}
+}
+
 // MaxAbs returns max |aᵢⱼ|.
 func (d *Dense) MaxAbs() float64 {
 	var m float64

@@ -250,3 +250,33 @@ func TestQuickLURoundTrip(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestAddToDiag(t *testing.T) {
+	d := NewDense(3, 3)
+	d.Set(0, 1, 2)
+	d.Set(2, 2, -4)
+	d.AddToDiag(1.5)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			switch {
+			case i == 0 && j == 1:
+				want = 2
+			case i == j:
+				want = 1.5
+			}
+			if i == 2 && j == 2 {
+				want = -4 + 1.5
+			}
+			if got := d.At(i, j); got != want {
+				t.Errorf("At(%d,%d) = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("AddToDiag on a non-square matrix did not panic")
+		}
+	}()
+	NewDense(2, 3).AddToDiag(1)
+}

@@ -1,0 +1,184 @@
+package mmpp
+
+import (
+	"fmt"
+
+	"hap/internal/linalg"
+	"hap/internal/markov"
+)
+
+// maxSuperposeStates bounds the product state space Superpose will build.
+// A merged chain's LST evaluation is an O(n³) LU solve per Laplace
+// argument, so past a few thousand states the "exact" path stops being
+// the cheap one — callers wanting more streams should fit the merged
+// trace instead.
+const maxSuperposeStates = 1 << 20
+
+// InterarrivalLaplace returns the exact Laplace–Stieltjes transform of
+// the arrival-stationary interarrival time of a general k-state MMPP,
+//
+//	A*(s) = φ·(sI − D₀)⁻¹·r,  D₀ = Q − diag(r),  φᵢ = πᵢrᵢ/λ̄,
+//
+// evaluated through an LU solve of the k×k resolvent per argument
+// (internal/linalg). This is the k-state generalisation of
+// MMPP2.InterarrivalLaplace: a 2-state chain delegates to that closed
+// form, so the two paths are bit-identical where they overlap. The
+// returned closure is safe for concurrent use; each evaluation factors
+// its own resolvent copy.
+func (m *MMPP) InterarrivalLaplace() (func(s float64) float64, error) {
+	n := m.Chain.N()
+	pi, err := m.Stationary()
+	if err != nil {
+		return nil, err
+	}
+	var lam float64
+	for i, p := range pi {
+		lam += p * m.Rates[i]
+	}
+	if lam <= 0 {
+		return nil, fmt.Errorf("mmpp: process has zero mean rate")
+	}
+	if n == 2 {
+		m2 := MMPP2{R0: m.Rates[0], R1: m.Rates[1],
+			Q01: m.Chain.OutRate(0), Q10: m.Chain.OutRate(1)}
+		if m2.Validate() == nil {
+			return m2.InterarrivalLaplace()
+		}
+	}
+	// negD0 = diag(r) − Q, so the resolvent sI − D₀ is negD0 plus s on
+	// the diagonal.
+	negD0 := linalg.NewDense(n, n)
+	r := make([]float64, n)
+	phi := make([]float64, n)
+	for i := 0; i < n; i++ {
+		r[i] = m.Rates[i]
+		phi[i] = pi[i] * m.Rates[i] / lam
+		for _, tr := range m.Chain.Transitions(i) {
+			negD0.A[i*n+tr.To] -= tr.Rate
+		}
+		negD0.A[i*n+i] = m.Chain.OutRate(i) + m.Rates[i]
+	}
+	return func(s float64) float64 {
+		res := negD0.Clone()
+		res.AddToDiag(s)
+		lu, err := linalg.Factor(res)
+		if err != nil {
+			// sI − D₀ is an M-matrix for s ≥ 0 with at least one
+			// strictly positive rate, so a singular factorisation only
+			// happens for out-of-domain arguments.
+			return 0
+		}
+		return linalg.Dot(phi, lu.SolveVec(r))
+	}, nil
+}
+
+// ScaleRates returns a view of m with every arrival rate multiplied by
+// f, sharing the modulating chain and its cached stationary law (the
+// modulator is untouched, so the stationary vector is unchanged). This
+// is the admission search's evaluation step: the headroom bisection
+// scales the fitted aggregate without rebuilding the product chain.
+func (m *MMPP) ScaleRates(f float64) *MMPP {
+	if f < 0 {
+		panic("mmpp: negative rate scale")
+	}
+	scaled := make([]float64, len(m.Rates))
+	for i, r := range m.Rates {
+		scaled[i] = f * r
+	}
+	return &MMPP{Chain: m.Chain, Rates: scaled, pi: m.pi}
+}
+
+// Superpose builds the exact merge of independent MMPPs: the modulating
+// chain is the Kronecker sum of the component chains (every component
+// transitions independently on the product state space) and the arrival
+// rate in a product state is the sum of the component rates. The
+// stationary law is seeded with the product form Π πᵢ — exact for
+// independent modulators — so the merged process never needs an
+// iterative solve over the product space. A single component is
+// returned as-is.
+//
+// This is the MAP-superposition construction (Kronecker sums of the D₀
+// and D₁ blocks) specialised to MMPPs, where diag(r) makes both blocks
+// diagonal-compatible and the whole merge reduces to chains and rate
+// vectors.
+func Superpose(components ...*MMPP) (*MMPP, error) {
+	if len(components) == 0 {
+		return nil, fmt.Errorf("mmpp: superpose needs at least one component")
+	}
+	if len(components) == 1 {
+		return components[0], nil
+	}
+	total := 1
+	for _, c := range components {
+		n := c.Chain.N()
+		if total > maxSuperposeStates/n {
+			return nil, fmt.Errorf("mmpp: superposed state space exceeds %d states", maxSuperposeStates)
+		}
+		total *= n
+	}
+	// Strides: the last component varies fastest (mixed-radix index).
+	strides := make([]int, len(components))
+	stride := 1
+	for i := len(components) - 1; i >= 0; i-- {
+		strides[i] = stride
+		stride *= components[i].Chain.N()
+	}
+	pis := make([][]float64, len(components))
+	for i, c := range components {
+		pi, err := c.Stationary()
+		if err != nil {
+			return nil, fmt.Errorf("mmpp: superpose component %d: %w", i, err)
+		}
+		pis[i] = pi
+	}
+	chain := markov.NewChain(total)
+	rates := make([]float64, total)
+	pi := make([]float64, total)
+	states := make([]int, len(components))
+	for idx := 0; idx < total; idx++ {
+		// Decode idx into per-component states.
+		rem := idx
+		for i := range components {
+			states[i] = rem / strides[i]
+			rem %= strides[i]
+		}
+		var rate float64
+		p := 1.0
+		for i, c := range components {
+			si := states[i]
+			rate += c.Rates[si]
+			p *= pis[i][si]
+			for _, tr := range c.Chain.Transitions(si) {
+				chain.Add(idx, idx+(tr.To-si)*strides[i], tr.Rate)
+			}
+		}
+		rates[idx] = rate
+		pi[idx] = p
+	}
+	merged := New(chain, rates)
+	merged.pi = pi
+	return merged, nil
+}
+
+// SuperposeMMPP2 merges fitted 2-state MMPPs — the control plane's
+// aggregate path, where each live stream contributes its latest fitted
+// MMPP2. Component stationary laws come from the 2-state closed form,
+// so the product-form law of the merge is exact, and a single model
+// degenerates to a process whose InterarrivalLaplace is bit-identical
+// to MMPP2.InterarrivalLaplace.
+func SuperposeMMPP2(models ...MMPP2) (*MMPP, error) {
+	if len(models) == 0 {
+		return nil, fmt.Errorf("mmpp: superpose needs at least one component")
+	}
+	comps := make([]*MMPP, len(models))
+	for i, m2 := range models {
+		if err := m2.Validate(); err != nil {
+			return nil, fmt.Errorf("mmpp: superpose component %d: %w", i, err)
+		}
+		g := m2.General()
+		p0 := m2.StationaryP0()
+		g.pi = []float64{p0, 1 - p0}
+		comps[i] = g
+	}
+	return Superpose(comps...)
+}

@@ -1,8 +1,10 @@
 // Command ctrlsmoke is the `make ctrl-smoke` gate: it builds cmd/hapd,
-// boots it with one stream on an ephemeral port, feeds a short UDP
-// burst, polls the decision API until an admission decision is served,
-// asserts the hap_ctrl_* metric families are live, then SIGTERMs the
-// daemon and requires a clean drained exit.
+// boots it with three streams on a 2-worker shared fit pool, bursts
+// every stream over UDP, polls the decision API until per-stream and
+// aggregate admission decisions are served, checks the decision history
+// ring, asserts the hap_ctrl_* metric families (including the pool and
+// aggregate ones) are live, then SIGTERMs the daemon and requires a
+// clean drained exit.
 package main
 
 import (
@@ -23,13 +25,25 @@ import (
 	"hap/internal/netgen"
 )
 
+// streams is how many UDP sinks the smoke daemon serves; workers is the
+// (smaller) shared pool size — the point of the exercise.
+const (
+	streams = 3
+	workers = 2
+)
+
 // required are the control-plane families the observability contract
-// promises once at least one refit → solve → admit cycle has run.
+// promises once at least one refit → solve → admit cycle and one
+// aggregate recompute have run.
 var required = []string{
 	"hap_ctrl_streams",
 	"hap_ctrl_arrivals_total",
 	"hap_ctrl_refits_total",
 	"hap_ctrl_solves_total",
+	"hap_ctrl_pool_workers",
+	"hap_ctrl_pool_jobs_total",
+	"hap_ctrl_aggregate_streams",
+	"hap_ctrl_aggregate_solves_total",
 }
 
 func main() {
@@ -55,9 +69,10 @@ func run() error {
 	}
 
 	// Small refit/window thresholds so one short burst crosses a full
-	// fit → solve → admit cycle.
+	// fit → solve → admit cycle on every stream.
 	cmd := exec.Command(bin,
-		"-listen", "127.0.0.1:0",
+		"-listen", strings.TrimSuffix(strings.Repeat("127.0.0.1:0,", streams), ","),
+		"-workers", fmt.Sprint(workers),
 		"-mu3", "1e5",
 		"-target", "0.01",
 		"-refit", "200",
@@ -76,20 +91,35 @@ func run() error {
 		cmd.Wait()
 	}()
 
-	udpAddr, apiAddr, rest, err := awaitAddrs(stdout)
+	udpAddrs, apiAddr, rest, err := awaitAddrs(stdout, streams)
 	if err != nil {
 		return err
 	}
 
-	if err := feed(udpAddr, 1200); err != nil {
-		return err
+	for _, addr := range udpAddrs {
+		if err := feed(addr, 1200); err != nil {
+			return err
+		}
 	}
 
-	if err := awaitDecision("http://" + apiAddr + "/v1/streams/s0/admit"); err != nil {
+	base := "http://" + apiAddr
+	for i := range udpAddrs {
+		if err := awaitDecision(fmt.Sprintf("%s/v1/streams/s%d/admit", base, i)); err != nil {
+			return err
+		}
+	}
+	// Every stream has decided, so the next aggregate recompute (tick
+	// cadence, 1s) must serve a merged decision over all of them.
+	if err := awaitAggregate(base+"/v1/aggregate/admit", streams); err != nil {
 		return err
 	}
+	for i := range udpAddrs {
+		if err := checkHistory(fmt.Sprintf("%s/v1/streams/s%d/history", base, i)); err != nil {
+			return err
+		}
+	}
 
-	page, err := scrape("http://" + apiAddr + "/metrics")
+	page, err := scrape(base + "/metrics")
 	if err != nil {
 		return err
 	}
@@ -124,29 +154,34 @@ func run() error {
 	return nil
 }
 
-// awaitAddrs reads the child's stdout until both the stream and API
-// address announcements, then keeps draining the pipe in the background
+// awaitAddrs reads the child's stdout until all n stream announcements
+// and the API address, then keeps draining the pipe in the background
 // and delivers the remaining output on the returned channel.
-func awaitAddrs(r io.Reader) (udp, api string, rest <-chan string, err error) {
+func awaitAddrs(r io.Reader, n int) (udp []string, api string, rest <-chan string, err error) {
 	sc := bufio.NewScanner(r)
-	type addrs struct{ udp, api string }
+	type addrs struct {
+		udp map[string]string
+		api string
+	}
 	got := make(chan addrs, 1)
 	tail := make(chan string, 1)
 	go func() {
-		var a addrs
+		a := addrs{udp: make(map[string]string)}
 		var buf bytes.Buffer
 		sent := false
 		for sc.Scan() {
 			line := sc.Text()
 			buf.WriteString(line)
 			buf.WriteByte('\n')
-			if v, ok := strings.CutPrefix(line, "stream s0: udp "); ok {
-				a.udp = v
+			if rest, ok := strings.CutPrefix(line, "stream "); ok {
+				if id, addr, ok := strings.Cut(rest, ": udp "); ok {
+					a.udp[id] = addr
+				}
 			}
 			if v, ok := strings.CutPrefix(line, "api: http://"); ok {
 				a.api = v
 			}
-			if !sent && a.udp != "" && a.api != "" {
+			if !sent && len(a.udp) == n && a.api != "" {
 				got <- a
 				sent = true
 			}
@@ -159,11 +194,19 @@ func awaitAddrs(r io.Reader) (udp, api string, rest <-chan string, err error) {
 	select {
 	case a, ok := <-got:
 		if !ok {
-			return "", "", nil, fmt.Errorf("hapd exited without announcing its addresses")
+			return nil, "", nil, fmt.Errorf("hapd exited without announcing its addresses")
 		}
-		return a.udp, a.api, tail, nil
+		out := make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			addr, ok := a.udp[fmt.Sprintf("s%d", i)]
+			if !ok {
+				return nil, "", nil, fmt.Errorf("hapd never announced stream s%d", i)
+			}
+			out = append(out, addr)
+		}
+		return out, a.api, tail, nil
 	case <-time.After(30 * time.Second):
-		return "", "", nil, fmt.Errorf("timed out waiting for hapd address announcements")
+		return nil, "", nil, fmt.Errorf("timed out waiting for hapd address announcements")
 	}
 }
 
@@ -218,6 +261,81 @@ func awaitDecision(url string) error {
 		time.Sleep(100 * time.Millisecond)
 	}
 	return fmt.Errorf("no admission decision served within 30s")
+}
+
+// awaitAggregate polls the aggregate admit endpoint until the merged
+// decision covers every stream (the recompute runs on a 1s tick, so the
+// first answers may span fewer fits).
+func awaitAggregate(url string, want int) error {
+	client := &http.Client{Timeout: 5 * time.Second}
+	deadline := time.Now().Add(30 * time.Second)
+	var last string
+	for time.Now().Before(deadline) {
+		resp, err := client.Get(url)
+		if err != nil {
+			time.Sleep(100 * time.Millisecond)
+			continue
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		last = string(body)
+		if resp.StatusCode == http.StatusOK {
+			var dec struct {
+				Admit   *bool    `json:"admit"`
+				Streams []string `json:"streams"`
+				States  int      `json:"states"`
+			}
+			if err := json.Unmarshal(body, &dec); err != nil {
+				return fmt.Errorf("aggregate admit response is not JSON: %.200s", body)
+			}
+			if dec.Admit == nil {
+				return fmt.Errorf("aggregate admit response missing admit field: %.200s", body)
+			}
+			if len(dec.Streams) == want {
+				if dec.States != 1<<want {
+					return fmt.Errorf("aggregate states = %d over %d streams, want %d: %.200s",
+						dec.States, want, 1<<want, body)
+				}
+				return nil
+			}
+		} else if resp.StatusCode != http.StatusServiceUnavailable {
+			return fmt.Errorf("GET %s: %s: %.200s", url, resp.Status, body)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return fmt.Errorf("aggregate decision never covered all %d streams within 30s; last: %.300s", want, last)
+}
+
+// checkHistory asserts the decision history ring serves at least one
+// record with the fit → decision provenance.
+func checkHistory(url string) error {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s: %.200s", url, resp.Status, body)
+	}
+	var hist struct {
+		Capacity int `json:"capacity"`
+		Records  []struct {
+			Fit      *json.RawMessage `json:"fit"`
+			Decision *json.RawMessage `json:"decision"`
+		} `json:"records"`
+	}
+	if err := json.Unmarshal(body, &hist); err != nil {
+		return fmt.Errorf("history response is not JSON: %.200s", body)
+	}
+	if hist.Capacity <= 0 || len(hist.Records) == 0 {
+		return fmt.Errorf("history empty after decisions: %.200s", body)
+	}
+	if hist.Records[0].Fit == nil || hist.Records[0].Decision == nil {
+		return fmt.Errorf("history record missing fit/decision: %.200s", body)
+	}
+	return nil
 }
 
 func scrape(url string) (string, error) {
