@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test ci fmt vet race race-all bench-smoke bench bench-pr7 bench-gate fit-bench baseline metrics-smoke fit-smoke shard-smoke ctrl-smoke
+.PHONY: all build test ci fmt vet race race-all bench-smoke bench bench-pr10 bench-gate fit-bench net-bench baseline metrics-smoke fit-smoke shard-smoke ctrl-smoke net-smoke
 
 all: build test
 
@@ -13,9 +13,9 @@ test:
 # ci is the merge gate: formatting, vet, the race detector over the
 # concurrency-bearing packages, a one-iteration benchmark smoke test, the
 # generate→fit pipeline smoke, the multi-shard determinism smoke, the
-# control-plane smoke, and the benchmark trajectory gate (fresh capture
-# vs the previous PR's).
-ci: fmt vet race bench-smoke fit-smoke shard-smoke ctrl-smoke bench
+# control-plane smoke, the queueing-network smoke, and the benchmark
+# trajectory gate (fresh capture vs the previous PR's).
+ci: fmt vet race bench-smoke fit-smoke shard-smoke ctrl-smoke net-smoke bench
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -27,7 +27,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/par ./internal/sim ./internal/obs ./internal/ctrl ./internal/netgen
+	$(GO) test -race ./internal/par ./internal/sim ./internal/obs ./internal/ctrl ./internal/netgen ./internal/net
 
 # race-all runs the whole module under the race detector (the CI race job);
 # -short skips the wall-clock-sensitive netgen delivery assertions, and the
@@ -59,20 +59,28 @@ fit-smoke:
 ctrl-smoke:
 	$(GO) run ./scripts/ctrlsmoke
 
+# net-smoke builds cmd/hapnet and asserts the queueing-network layer's CI
+# properties: a Poisson tandem delivers end to end with packet
+# conservation, a replicated fan-in prints bit-identical statistics at
+# -parallel 1 and -parallel 4, and a run under -metrics exposes the
+# hap_net_* families with nonzero forwarded/delivered counters.
+net-smoke:
+	$(GO) run ./scripts/netsmoke
+
 bench-smoke:
 	$(GO) test -bench=SimulatorHAP -benchtime=1x -run '^$$' .
 
-# bench captures a fresh full benchmark sweep as BENCH_pr7.json (same
+# bench captures a fresh full benchmark sweep as BENCH_pr10.json (same
 # go-test-json schema as BENCH_baseline.json) and runs the gate: allocs/op
 # against the committed baseline, plus the per-PR trajectory (allocs/op,
-# events/s and arrivals/s) against the previous capture, BENCH_pr6.json.
+# events/s and arrivals/s) against the previous capture, BENCH_pr7.json.
 # The gate auto-discovers the newest BENCH_pr<N>.json as current and the
 # one before it as previous; see scripts/benchgate for the tolerance
 # calibration.
-bench: bench-pr7 bench-gate
+bench: bench-pr10 bench-gate
 
-bench-pr7:
-	$(GO) test -bench . -benchtime=1x -run '^$$' -json . > BENCH_pr7.json
+bench-pr10:
+	$(GO) test -bench . -benchtime=1x -run '^$$' -json . > BENCH_pr10.json
 
 # fit-bench re-measures just the fitter throughput benchmarks
 # (BenchmarkFitEM, BenchmarkFitTraceStats) and appends them to the
@@ -81,7 +89,15 @@ bench-pr7:
 # last occurrence of each benchmark, so the append overrides the sweep's
 # numbers.
 fit-bench:
-	$(GO) test -bench 'BenchmarkFit(EM|TraceStats)$$' -benchtime=1x -run '^$$' -json . >> BENCH_pr7.json
+	$(GO) test -bench 'BenchmarkFit(EM|TraceStats)$$' -benchtime=1x -run '^$$' -json . >> BENCH_pr10.json
+	$(GO) run ./scripts/benchgate
+
+# net-bench re-measures just the queueing-network throughput benchmarks
+# (BenchmarkNetworkEvents, BenchmarkNetworkTandemEvents) and appends them
+# to the current capture, then re-runs the gate so network events/s joins
+# the per-PR trajectory.
+net-bench:
+	$(GO) test -bench 'BenchmarkNetwork(Tandem)?Events$$' -benchtime=1x -run '^$$' -json . >> BENCH_pr10.json
 	$(GO) run ./scripts/benchgate
 
 bench-gate:

@@ -27,6 +27,7 @@ import (
 	"hap/internal/haperr"
 	"hap/internal/markov"
 	"hap/internal/mmpp"
+	"hap/internal/net"
 	"hap/internal/sim"
 	"hap/internal/solver"
 )
@@ -331,6 +332,55 @@ func BenchmarkShardedAggregate(b *testing.B) {
 			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
 		})
 	}
+}
+
+// BenchmarkNetworkEvents measures the queueing-network driver: four HAP
+// sources through near-instant edge nodes into one bottleneck (the fan-in
+// multiplexer), every packet crossing two stations plus a typed delivery
+// event per hop. events/s here includes the packet-table and routing
+// overhead on top of the raw engine loop.
+func BenchmarkNetworkEvents(b *testing.B) {
+	m := core.PaperParams(50)
+	topo := net.FanIn("bench", 4, 1e5, 50, 0, 0)
+	ings := make([]net.Ingress, 4)
+	for i := range ings {
+		ings[i] = net.HAPIngress(m, i, 4)
+	}
+	b.ReportAllocs()
+	net.Run(topo, ings, net.Config{Horizon: 200, Seed: 1}) // warmup
+	b.ResetTimer()
+	var events int64
+	for i := 0; i < b.N; i++ {
+		r := net.Run(topo, ings, net.Config{Horizon: 5000, Seed: int64(i + 1)})
+		if r.Err != nil {
+			b.Fatal(r.Err)
+		}
+		events += r.Events
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkNetworkTandemEvents is the serial-line variant: one Poisson
+// flow crossing eight stations, the deep-path cost per delivered packet.
+func BenchmarkNetworkTandemEvents(b *testing.B) {
+	mus := make([]float64, 8)
+	for i := range mus {
+		mus[i] = 20
+	}
+	topo := net.Tandem("bench-line", mus, 0)
+	ings := []net.Ingress{net.PoissonIngress(8, 0, 7)}
+	b.ReportAllocs()
+	net.Run(topo, ings, net.Config{Horizon: 200, Seed: 1}) // warmup
+	b.ResetTimer()
+	var events int64
+	for i := 0; i < b.N; i++ {
+		r := net.Run(topo, ings, net.Config{Horizon: 5000, Seed: int64(i + 1)})
+		if r.Err != nil {
+			b.Fatal(r.Err)
+		}
+		events += r.Events
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
 }
 
 // --- Fit throughput -------------------------------------------------------

@@ -85,15 +85,15 @@ func main() {
 	}
 
 	d, err := ctrl.New(ctrl.Config{
-		ListenAddrs: addrs,
-		Overrides:   overrides,
-		HTTPAddr:    *httpA,
-		ServiceRate: *mu3,
-		TargetDelay: *target,
-		FMax:        *fmax,
-		RefitEvery:  *refitN,
-		Window:      *window,
-		MinWindow:   *minWin,
+		ListenAddrs:        addrs,
+		Overrides:          overrides,
+		HTTPAddr:           *httpA,
+		ServiceRate:        *mu3,
+		TargetDelay:        *target,
+		FMax:               *fmax,
+		RefitEvery:         *refitN,
+		Window:             *window,
+		MinWindow:          *minWin,
 		StaleAfter:         *stale,
 		Workers:            *workers,
 		HistorySize:        *history,

@@ -9,6 +9,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -55,6 +56,7 @@ func main() {
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		timeout = flag.Duration("timeout", 0, "abort the simulation after this wall-clock budget (0 = none; ctrl-c also cancels)")
 		metrics = flag.String("metrics", "", "serve live metrics on this address (e.g. :9090 or 127.0.0.1:0)")
+		perStat = flag.String("per-station", "", "write the per-source measurement breakdown of a sharded aggregate as JSON to this file ('-' = stdout; requires -shards/-sources)")
 	)
 	flag.Parse()
 	if *warmup == 0 {
@@ -112,8 +114,12 @@ func main() {
 			os.Exit(haperr.ExitUsage)
 		}
 		runSharded(ctx, *source, *shards, *sources, mcfg, *horizon, *seed,
-			*lambda, *mu, *lambda2, *mu2, *lambda3, *mu3, *l, *mm, *config, *memProf)
+			*lambda, *mu, *lambda2, *mu2, *lambda3, *mu3, *l, *mm, *config, *memProf, *perStat)
 		return
+	}
+	if *perStat != "" {
+		fmt.Fprintln(os.Stderr, "-per-station reports a sharded aggregate's per-source breakdown; it requires -shards or -sources")
+		os.Exit(haperr.ExitUsage)
 	}
 
 	// Build a per-seed runner once; a single run and a replicated run then
@@ -252,7 +258,7 @@ func main() {
 // statistics. Results are bit-identical for any -shards value.
 func runSharded(ctx context.Context, source string, shards, sources int, mcfg sim.MeasureConfig,
 	horizon float64, seed int64,
-	lambda, mu, lambda2, mu2, lambda3, mu3 float64, l, mm int, config, memProf string) {
+	lambda, mu, lambda2, mu2, lambda3, mu3 float64, l, mm int, config, memProf, perStat string) {
 	if sources == 0 {
 		per := shards
 		if per <= 0 {
@@ -310,11 +316,65 @@ func runSharded(ctx context.Context, source string, shards, sources int, mcfg si
 		res.Merged.MeanDelay(), res.Merged.Delays.Std(), res.Merged.Delays.Max(), res.Merged.Delays.N())
 	fmt.Printf("mean queue length  %.5g (max %g, per source)\n",
 		res.Merged.MeanQueue(), res.Merged.Queue.Max())
+	if perStat != "" {
+		if err := writePerStation(perStat, res); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	writeMemProfile(memProf)
 	if res.Err != nil {
 		fmt.Fprintln(os.Stderr, res.Err)
 		os.Exit(haperr.ExitCode(res.Err))
 	}
+}
+
+// stationJSON is one source's slice of a sharded aggregate in the
+// -per-station report.
+type stationJSON struct {
+	Source       int     `json:"source"`
+	MeanDelay    float64 `json:"mean_delay"`
+	StdDelay     float64 `json:"std_delay"`
+	MaxDelay     float64 `json:"max_delay"`
+	Departures   int64   `json:"departures"`
+	MeanQueue    float64 `json:"mean_queue"`
+	MaxQueue     float64 `json:"max_queue"`
+	ObservedRate float64 `json:"observed_rate"`
+	Truncated    bool    `json:"truncated"`
+}
+
+// writePerStation emits the per-source breakdown the sharded engine
+// already tracks (ShardedResult.PerSource) as a JSON array; '-' writes to
+// stdout.
+func writePerStation(path string, res *sim.ShardedResult) error {
+	rows := make([]stationJSON, len(res.PerSource))
+	for i, m := range res.PerSource {
+		rows[i] = stationJSON{
+			Source:       i,
+			MeanDelay:    m.MeanDelay(),
+			StdDelay:     m.Delays.Std(),
+			MaxDelay:     m.Delays.Max(),
+			Departures:   m.Delays.N(),
+			MeanQueue:    m.MeanQueue(),
+			MaxQueue:     m.Queue.Max(),
+			ObservedRate: m.ObservedRate(),
+			Truncated:    m.Truncated,
+		}
+	}
+	out, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("per-station breakdown written to %s\n", path)
+	return nil
 }
 
 func writeMemProfile(path string) {

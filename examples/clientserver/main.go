@@ -1,8 +1,10 @@
-// Client-server traffic (HAP-CS, the paper's Section 2.2): an rlogin-like
-// command loop where each served request triggers a response and each
-// served response may trigger the next command. The example compares the
-// closed-form exchange algebra with simulation and shows the traffic
-// amplification client-server coupling produces.
+// Client-server traffic over a 3-hop path: HAP messages leave a client
+// host, cross a shared router, and are served at a server — the paper's
+// bursty arrival process pushed through a small queueing network instead
+// of a single queue. The example attributes the end-to-end delay hop by
+// hop, showing where HAP burstiness actually queues: the slowest stage
+// absorbs nearly all of it, and a Poisson source at the same rate
+// underestimates that congestion badly.
 //
 //	go run ./examples/clientserver
 package main
@@ -12,55 +14,61 @@ import (
 	"log"
 
 	"hap"
-	"hap/internal/core"
 )
 
 func main() {
-	cs := core.RloginCS()
-	if err := cs.Validate(); err != nil {
-		log.Fatal(err)
+	// client → router → server, each a single exponential server. The
+	// client NIC is fast, the router has headroom, the server is the
+	// bottleneck (λ̄ = 8.25 → ρ = 0.75 there).
+	topo := &hap.NetTopology{
+		Name: "client-server",
+		Nodes: []hap.NetNode{
+			{Name: "client", Mu: 200},
+			{Name: "router", Mu: 40},
+			{Name: "server", Mu: 11},
+		},
+		Links: []hap.NetLink{
+			{From: 0, To: 1, Delay: 0.002}, // client → router, 2 ms wire
+			{From: 1, To: 2, Delay: 0.005}, // router → server, 5 ms wire
+		},
+	}
+	model := hap.PaperParams(11)
+	fmt.Printf("topology %s: client(μ=200) → router(μ=40) → server(μ=11)\n", topo.Name)
+	fmt.Printf("source: %s at the client (λ̄ = %.4g, server ρ = %.3g)\n\n",
+		model, model.MeanRate(), model.MeanRate()/11)
+
+	cfg := hap.NetConfig{
+		Horizon: 2e4,
+		Seed:    17,
+		Measure: hap.SimMeasure{Warmup: 500},
+	}
+	res := hap.SimulateNetwork(topo, []hap.NetIngress{hap.NetHAPIngress(model, 0, 2)}, cfg)
+	if res.Err != nil {
+		log.Fatal(res.Err)
 	}
 
-	fmt.Printf("model %q: %d application types\n\n", cs.Name, len(cs.Apps))
-	for _, a := range cs.Apps {
-		for _, msg := range a.Messages {
-			fmt.Printf("%-14s %-8s PResp=%.2f PNext=%.2f → %.2f requests + %.2f responses per exchange\n",
-				a.Name, msg.Name, msg.PResp, msg.PNext,
-				msg.RequestsPerExchange(), msg.ResponsesPerExchange())
-		}
+	fmt.Printf("simulated %g s: %d messages delivered end to end\n\n", cfg.Horizon, res.E2E.Delivered)
+	fmt.Printf("%-8s %12s %12s %10s\n", "node", "mean sojourn", "mean queue", "share")
+	total := res.E2E.Sojourn.Mean()
+	for j, c := range res.Node {
+		hop := res.E2E.PerHop[j]
+		fmt.Printf("%-8s %10.4g s %12.4g %9.1f%%\n",
+			c.Name, hop.Mean(), res.PerNode[j].MeanQueue(), 100*hop.Mean()/total)
 	}
+	fmt.Printf("wires    %10.4g s %12s %9.1f%%\n", 0.007, "", 100*0.007/total)
+	fmt.Printf("\nend-to-end sojourn %.4g s (std %.4g, max %.4g)\n",
+		total, res.E2E.Sojourn.Std(), res.E2E.Sojourn.Max())
 
-	fmt.Printf("\nspontaneous (exchange-opening) rate: %.4g msgs/s\n", cs.MeanSpontaneousRate())
-	fmt.Printf("effective rate incl. triggered traffic: %.4g msgs/s (%.2f× amplification)\n",
-		cs.MeanRate(), cs.MeanRate()/cs.MeanSpontaneousRate())
-	fmt.Printf("offered load at the queue: %.4g\n", cs.OfferedLoad())
-
-	fmt.Println("\nsimulating 300,000 model seconds...")
-	res := hap.SimulateCS(cs, hap.SimConfig{
-		Horizon: 3e5, Seed: 11,
-		Measure: hap.SimMeasure{Warmup: 3000},
-	})
-	fmt.Printf("observed rate %.4g msgs/s (closed form %.4g)\n",
-		res.Meas.ObservedRate(), cs.MeanRate())
-	fmt.Printf("mean delay %.4g s across %d messages\n", res.Meas.MeanDelay(), res.Meas.Delays.N())
-
-	// Per-class view: even classes are requests, odd are responses.
-	names := []string{}
-	for _, a := range cs.Apps {
-		for _, msg := range a.Messages {
-			names = append(names, a.Name+"/"+msg.Name)
-		}
+	// The same path fed by Poisson at the same rate: HAP's hierarchical
+	// burstiness — not the average load — is what piles delay onto the
+	// bottleneck hop.
+	pois := hap.SimulateNetwork(topo,
+		[]hap.NetIngress{hap.NetPoissonIngress(model.MeanRate(), 0, 2)}, cfg)
+	if pois.Err != nil {
+		log.Fatal(pois.Err)
 	}
-	fmt.Println("\nper-class delays:")
-	for k, name := range names {
-		req := res.Meas.ByClass[2*k]
-		resp := res.Meas.ByClass[2*k+1]
-		fmt.Printf("  %-22s requests: n=%-7d T=%.4gs   responses: n=%-7d T=%.4gs\n",
-			name, req.N(), req.Mean(), resp.N(), resp.Mean())
-	}
-
-	// The plain-HAP projection for the analytic solvers.
-	plain := cs.Plain()
-	fmt.Printf("\nplain-HAP projection: λ̄=%.4g (matches), per-type service rates folded\n",
-		plain.MeanRate())
+	fmt.Printf("\npoisson baseline at λ = %.4g: end-to-end %.4g s — HAP is %.1f× worse\n",
+		model.MeanRate(), pois.E2E.Sojourn.Mean(), total/pois.E2E.Sojourn.Mean())
+	fmt.Printf("  server hop: HAP %.4g s vs poisson %.4g s\n",
+		res.E2E.PerHop[2].Mean(), pois.E2E.PerHop[2].Mean())
 }

@@ -36,6 +36,7 @@ import (
 	"hap/internal/core"
 	"hap/internal/fit"
 	"hap/internal/haperr"
+	"hap/internal/net"
 	"hap/internal/obs"
 	"hap/internal/sim"
 	"hap/internal/solver"
@@ -209,6 +210,72 @@ func SimulateSharded(m *Model, n int, cfg SimShardedConfig) *SimSharded {
 // SimulateShardedOnOff is SimulateSharded for the 2-level / ON-OFF model.
 func SimulateShardedOnOff(tl *TwoLevel, n int, cfg SimShardedConfig) *SimSharded {
 	return sim.RunShardedOnOff(tl, n, cfg)
+}
+
+// NetTopology is a queueing network: nodes (single-server queues) joined
+// by directed links, built literally or with NetTandem/NetFanIn/NetGrid.
+type NetTopology = net.Topology
+
+// NetNode is one store-and-forward node of a NetTopology.
+type NetNode = net.Node
+
+// NetLink is a directed edge of a NetTopology.
+type NetLink = net.Link
+
+// NetIngress binds one external traffic source to an entry node.
+type NetIngress = net.Ingress
+
+// NetConfig drives a network simulation run.
+type NetConfig = net.Config
+
+// NetResult is a completed network run (per-node measurements, packet
+// accounting, end-to-end sojourn/hop statistics).
+type NetResult = net.Result
+
+// NetTandem builds a serial line of nodes ending in a sink.
+func NetTandem(name string, mus []float64, buffer int) *NetTopology {
+	return net.Tandem(name, mus, buffer)
+}
+
+// NetFanIn builds k edge nodes all feeding one bottleneck — the paper's
+// superposition scenario made spatial.
+func NetFanIn(name string, k int, edgeMu, bottleneckMu float64, edgeBuffer, bottleneckBuffer int) *NetTopology {
+	return net.FanIn(name, k, edgeMu, bottleneckMu, edgeBuffer, bottleneckBuffer)
+}
+
+// NetGrid builds a w×h mesh with bidirectional 4-neighbour links and
+// shortest-path routing.
+func NetGrid(name string, w, h int, mu float64, buffer int) *NetTopology {
+	return net.Grid(name, w, h, mu, buffer)
+}
+
+// NetHAPIngress attaches a 3-level HAP source at a node; dst >= 0 routes
+// along shortest paths, dst < 0 walks link weights to a sink.
+func NetHAPIngress(m *Model, node, dst int) NetIngress { return net.HAPIngress(m, node, dst) }
+
+// NetPoissonIngress attaches a Poisson source at a node.
+func NetPoissonIngress(rate float64, node, dst int) NetIngress {
+	return net.PoissonIngress(rate, node, dst)
+}
+
+// NetOnOffIngress attaches a 2-level / ON-OFF source at a node.
+func NetOnOffIngress(tl *TwoLevel, node, dst int) NetIngress { return net.OnOffIngress(tl, node, dst) }
+
+// SimulateNetwork routes the ingress traffic over the topology on a single
+// engine: every node is a station with its own measurements, packets carry
+// entry time, hop count and path, and the result reports per-node and
+// end-to-end statistics. Results are a pure function of (topology,
+// ingresses, cfg.Seed) — bit-identical on every machine and worker count.
+func SimulateNetwork(t *NetTopology, ings []NetIngress, cfg NetConfig) *NetResult {
+	return net.Run(t, ings, cfg)
+}
+
+// SimulateNetworkReplicated runs n independent replications of the network
+// across workers (0 = all cores) and merges them in replication order;
+// replication i is seeded from (cfg.Seed, i), so the merge is
+// bit-identical for every worker count.
+func SimulateNetworkReplicated(t *NetTopology, ings []NetIngress, cfg NetConfig, n, workers int) *NetResult {
+	return net.RunReplicated(t, ings, cfg, n, workers)
 }
 
 // MaxWorkload finds the largest user arrival-rate multiplier whose

@@ -1,0 +1,319 @@
+package net
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"hap/internal/core"
+	"hap/internal/sim"
+)
+
+func TestTopologyValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		topo *Topology
+	}{
+		{"empty", &Topology{}},
+		{"zero mu", &Topology{Nodes: []Node{{Mu: 0}}}},
+		{"negative buffer", &Topology{Nodes: []Node{{Mu: 1, Buffer: -1}}}},
+		{"dangling link", &Topology{Nodes: []Node{{Mu: 1}}, Links: []Link{{From: 0, To: 3}}}},
+		{"self loop", &Topology{Nodes: []Node{{Mu: 1}, {Mu: 1}}, Links: []Link{{From: 0, To: 0}}}},
+		{"negative weight", &Topology{Nodes: []Node{{Mu: 1}, {Mu: 1}}, Links: []Link{{From: 0, To: 1, Weight: -2}}}},
+		{"negative delay", &Topology{Nodes: []Node{{Mu: 1}, {Mu: 1}}, Links: []Link{{From: 0, To: 1, Delay: -1}}}},
+	}
+	for _, c := range cases {
+		if err := c.topo.Validate(); err == nil {
+			t.Errorf("%s: invalid topology accepted", c.name)
+		}
+	}
+	if err := Tandem("ok", []float64{2, 3}, 0).Validate(); err != nil {
+		t.Errorf("valid tandem rejected: %v", err)
+	}
+}
+
+func TestRunRejectsBadIngress(t *testing.T) {
+	topo := Tandem("t", []float64{2, 3}, 0)
+	cfg := Config{Horizon: 10, Seed: 1}
+	for name, ings := range map[string][]Ingress{
+		"none":        {},
+		"node range":  {PoissonIngress(1, 9, -1)},
+		"dst range":   {PoissonIngress(1, 0, 9)},
+		"unreachable": {PoissonIngress(1, 1, 0)}, // tandem links only run forward
+	} {
+		if r := Run(topo, ings, cfg); r.Err == nil {
+			t.Errorf("%s: bad ingress accepted", name)
+		}
+	}
+}
+
+// TestBurkeJacksonTandem validates the network layer against product form:
+// a tandem of M/M/1 nodes fed by Poisson(λ) has per-node sojourn
+// 1/(μⱼ−λ) (Burke's theorem makes every internal flow Poisson(λ), Jackson
+// gives the product form). Each node's mean must land within the 95%
+// confidence half-width across replications (plus a small floor for the
+// finite-horizon bias at a fixed seed).
+func TestBurkeJacksonTandem(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-replication validation run")
+	}
+	const lambda = 1.0
+	mus := []float64{2, 2.5, 3}
+	topo := Tandem("burke", mus, 0)
+	cfg := Config{
+		Horizon: 5000,
+		Seed:    20260808,
+		Measure: sim.MeasureConfig{Warmup: 400},
+	}
+	agg := RunReplicated(topo, []Ingress{PoissonIngress(lambda, 0, len(mus)-1)}, cfg, 8, 0)
+	if agg.Err != nil {
+		t.Fatal(agg.Err)
+	}
+	for j, mu := range mus {
+		want := 1 / (mu - lambda)
+		// Rep-level half-width for this node's mean.
+		var w welford
+		for _, r := range agg.Reps {
+			w.add(r.PerNode[j].MeanDelay())
+		}
+		hw := 1.96 * w.std() / math.Sqrt(float64(len(agg.Reps)))
+		tol := hw + 0.02*want
+		got := agg.PerNode[j].MeanDelay()
+		if math.Abs(got-want) > tol {
+			t.Errorf("node %d mean sojourn = %.4f, want %.4f ± %.4f", j, got, want, tol)
+		}
+	}
+	// Sanity: end-to-end sojourn is the sum of per-node sojourns plus zero
+	// link delay.
+	var sum float64
+	for j := range mus {
+		sum += agg.PerNode[j].MeanDelay()
+	}
+	if e2e := agg.E2E.Sojourn.Mean(); math.Abs(e2e-sum) > 0.05*sum {
+		t.Errorf("mean e2e sojourn %.4f should track per-node sum %.4f", e2e, sum)
+	}
+}
+
+// welford is a tiny local mean/std accumulator for rep-level tolerances.
+type welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+func (w *welford) add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+func (w *welford) std() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return math.Sqrt(w.m2 / float64(w.n-1))
+}
+
+// netFingerprint flattens everything the determinism contract covers into
+// exactly comparable values.
+type netFingerprint struct {
+	perNodeMean  []float64
+	perNodeN     []int64
+	perNodeQ     []float64
+	counts       []NodeCounts
+	sojournMean  float64
+	sojournN     int64
+	hops         []int64
+	offered      int64
+	delivered    int64
+	droppedFull  int64
+	events       int64
+	truncatedBy0 int
+}
+
+func fingerprint(r *Result) netFingerprint {
+	fp := netFingerprint{
+		counts:       r.Node,
+		sojournMean:  r.E2E.Sojourn.Mean(),
+		sojournN:     r.E2E.Sojourn.N(),
+		hops:         r.E2E.Hops,
+		offered:      r.E2E.Offered,
+		delivered:    r.E2E.Delivered,
+		droppedFull:  r.E2E.DroppedFull,
+		events:       r.Events,
+		truncatedBy0: len(r.PerNode[0].TruncatedBy),
+	}
+	for _, m := range r.PerNode {
+		fp.perNodeMean = append(fp.perNodeMean, m.MeanDelay())
+		fp.perNodeN = append(fp.perNodeN, m.Delays.N())
+		fp.perNodeQ = append(fp.perNodeQ, m.MeanQueue())
+	}
+	return fp
+}
+
+func equalFP(a, b netFingerprint) bool {
+	if a.sojournMean != b.sojournMean || a.sojournN != b.sojournN ||
+		a.offered != b.offered || a.delivered != b.delivered ||
+		a.droppedFull != b.droppedFull || a.events != b.events ||
+		a.truncatedBy0 != b.truncatedBy0 {
+		return false
+	}
+	if len(a.hops) != len(b.hops) || len(a.counts) != len(b.counts) || len(a.perNodeMean) != len(b.perNodeMean) {
+		return false
+	}
+	for i := range a.hops {
+		if a.hops[i] != b.hops[i] {
+			return false
+		}
+	}
+	for i := range a.counts {
+		if a.counts[i] != b.counts[i] {
+			return false
+		}
+	}
+	for i := range a.perNodeMean {
+		if a.perNodeMean[i] != b.perNodeMean[i] || a.perNodeN[i] != b.perNodeN[i] || a.perNodeQ[i] != b.perNodeQ[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestNetworkBitIdentical pins the determinism contract: the merged result
+// of replicated network runs is bit-identical at every worker count.
+func TestNetworkBitIdentical(t *testing.T) {
+	topo := FanIn("det", 3, 200, 25, 0, 0)
+	model := core.PaperParams(25)
+	ings := []Ingress{
+		HAPIngress(model, 0, 3),
+		HAPIngress(model, 1, 3),
+		PoissonIngress(2, 2, 3),
+	}
+	cfg := Config{Horizon: 300, Seed: 42, Measure: sim.MeasureConfig{Warmup: 10}}
+	var base netFingerprint
+	for i, workers := range []int{1, 2, 4, runtime.NumCPU()} {
+		agg := RunReplicated(topo, ings, cfg, 6, workers)
+		if agg.Err != nil {
+			t.Fatalf("workers=%d: %v", workers, agg.Err)
+		}
+		fp := fingerprint(agg)
+		if i == 0 {
+			base = fp
+			if fp.delivered == 0 {
+				t.Fatal("no packets delivered; test is vacuous")
+			}
+			continue
+		}
+		if !equalFP(base, fp) {
+			t.Errorf("workers=%d: merged result differs from workers=1", workers)
+		}
+	}
+	if base.truncatedBy0 != 6 {
+		t.Errorf("merged per-node TruncatedBy has %d entries, want one per replication (6)", base.truncatedBy0)
+	}
+}
+
+// TestGridShortestPath routes corner-to-corner traffic over a 3×3 mesh:
+// every delivered packet must be served at exactly 5 nodes (the Manhattan
+// distance of 4 links, plus the entry node) and record a 5-node path from
+// source to destination.
+func TestGridShortestPath(t *testing.T) {
+	topo := Grid("mesh", 3, 3, 50, 0)
+	cfg := Config{Horizon: 200, Seed: 7, KeepPaths: 10}
+	r := Run(topo, []Ingress{PoissonIngress(2, 0, 8)}, cfg)
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if r.E2E.Delivered == 0 {
+		t.Fatal("no packets delivered")
+	}
+	for h, n := range r.E2E.Hops {
+		if n > 0 && h != 5 {
+			t.Errorf("%d packets delivered after %d node visits, want all 5", n, h)
+		}
+	}
+	if len(r.Paths) == 0 {
+		t.Fatal("KeepPaths recorded nothing")
+	}
+	for _, p := range r.Paths {
+		if len(p) != 5 || p[0] != 0 || p[4] != 8 {
+			t.Errorf("path %v, want 5 nodes from 0 to 8", p)
+		}
+		for i := 1; i < len(p); i++ {
+			dx := int(p[i]%3) - int(p[i-1]%3)
+			dy := int(p[i]/3) - int(p[i-1]/3)
+			if dx*dx+dy*dy != 1 {
+				t.Errorf("path %v hops between non-neighbours", p)
+			}
+		}
+	}
+}
+
+// TestProbabilisticSplit checks weighted sink routing: a fork with weights
+// 1:3 should deliver ≈25% / 75%.
+func TestProbabilisticSplit(t *testing.T) {
+	topo := &Topology{
+		Name:  "fork",
+		Nodes: []Node{{Mu: 100}, {Mu: 100}, {Mu: 100}},
+		Links: []Link{{From: 0, To: 1, Weight: 1}, {From: 0, To: 2, Weight: 3}},
+	}
+	r := Run(topo, []Ingress{PoissonIngress(5, 0, -1)}, Config{Horizon: 4000, Seed: 11})
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	n1, n2 := float64(r.Node[1].Delivered), float64(r.Node[2].Delivered)
+	total := n1 + n2
+	if total < 1000 {
+		t.Fatalf("only %v packets delivered", total)
+	}
+	if frac := n1 / total; math.Abs(frac-0.25) > 5*math.Sqrt(0.25*0.75/total) {
+		t.Errorf("branch 1 took %.3f of traffic, want ≈0.25", frac)
+	}
+}
+
+// TestFiniteBufferConservation drives a tiny-buffered bottleneck hard and
+// checks packet conservation: every offered packet is delivered, dropped,
+// or still in flight.
+func TestFiniteBufferConservation(t *testing.T) {
+	topo := Tandem("lossy", []float64{50, 3}, 0)
+	topo.Nodes[1].Buffer = 4
+	r := Run(topo, []Ingress{PoissonIngress(6, 0, 1)}, Config{Horizon: 500, Seed: 3})
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if r.E2E.DroppedFull == 0 {
+		t.Fatal("overloaded 4-slot buffer dropped nothing")
+	}
+	if r.Node[1].DroppedFull != r.E2E.DroppedFull {
+		t.Errorf("drops not attributed to the bottleneck: node=%d e2e=%d", r.Node[1].DroppedFull, r.E2E.DroppedFull)
+	}
+	sum := r.E2E.Delivered + r.E2E.DroppedFull + r.E2E.DroppedHops + r.InFlight
+	if r.E2E.Offered != sum {
+		t.Errorf("conservation violated: offered %d != delivered %d + dropped %d+%d + in flight %d",
+			r.E2E.Offered, r.E2E.Delivered, r.E2E.DroppedFull, r.E2E.DroppedHops, r.InFlight)
+	}
+}
+
+// TestMaxHops bounds destination-less walks on a cycle with no sink: every
+// packet must die at the hop limit, never loop forever.
+func TestMaxHops(t *testing.T) {
+	topo := &Topology{
+		Name:  "cycle",
+		Nodes: []Node{{Mu: 100}, {Mu: 100}},
+		Links: []Link{{From: 0, To: 1}, {From: 1, To: 0}},
+	}
+	r := Run(topo, []Ingress{PoissonIngress(1, 0, -1)}, Config{Horizon: 50, Seed: 5, MaxHops: 8})
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if r.E2E.Delivered != 0 {
+		t.Errorf("sink-less cycle delivered %d packets", r.E2E.Delivered)
+	}
+	if r.E2E.DroppedHops == 0 {
+		t.Error("hop limit never fired on an endless cycle")
+	}
+	if got := r.E2E.Offered - r.E2E.DroppedHops - r.InFlight; got != 0 {
+		t.Errorf("conservation violated on cycle: %d packets unaccounted", got)
+	}
+}

@@ -1,0 +1,291 @@
+// Package net is the queueing-network layer on top of the multi-station
+// simulation engine: a Topology of single-server nodes joined by directed
+// links, external traffic sources (HAP, ON-OFF, MMPP, Poisson — anything
+// implementing sim.Source) injecting packets at ingress nodes, and a
+// driver that routes each packet hop by hop until it reaches its
+// destination or a sink.
+//
+// The paper characterizes one HAP/M/1 queue; its headline phenomenon —
+// congestion "mountains" when bursty users superpose — is a network
+// effect. This package makes it spatial: every node is an engine station
+// with its own exponential server, finite or infinite buffer, and its own
+// sim.Measurements, so the mountains can be located hop by hop. Packets
+// carry their network entry time, hop count, and visited-node path; an
+// EndToEnd accumulator collects sojourn times, per-hop delay breakdowns,
+// a hop-count histogram, and drops at full buffers.
+//
+// Routing is deterministic where possible and index-seeded where not:
+// a node with one out-link forwards blindly; a packet with a destination
+// follows a precomputed shortest-path next-hop table (ties broken by link
+// order); a destination-less packet at a fan-out node draws the out-link
+// from the node's own routing stream, seeded by the node index only. A
+// network's sample path is therefore a function of (topology, ingresses,
+// seed) alone — never of worker counts or scheduling — which is what lets
+// replicated runs merge bit-identically at any parallelism (see Run and
+// RunReplicated in run.go).
+package net
+
+import (
+	"math"
+	"sync"
+
+	"hap/internal/dist"
+	"hap/internal/haperr"
+)
+
+// Node is one store-and-forward element: a FIFO queue drained by a single
+// exponential server.
+type Node struct {
+	// Name labels the node in reports and metrics (defaults to "nodeN").
+	Name string
+	// Mu is the exponential service rate (packets per second).
+	Mu float64
+	// Buffer caps the number in system (queue + in service); a packet
+	// arriving at a full node is dropped. 0 means unbounded.
+	Buffer int
+}
+
+// Link is a directed edge between nodes.
+type Link struct {
+	From, To int
+	// Weight is the relative routing probability among From's out-links
+	// when a destination-less packet must choose (0 means 1). Ignored for
+	// destination-routed packets, which follow the shortest-path table.
+	Weight float64
+	// Delay is the propagation latency added to every traversal (>= 0).
+	Delay float64
+}
+
+// Topology is an immutable network description. Build one with the
+// constructors (Tandem, FanIn, Grid) or literally, then hand it to Run;
+// the routing tables are compiled once on first use and shared safely
+// across replications.
+type Topology struct {
+	Name  string
+	Nodes []Node
+	Links []Link
+
+	compileOnce sync.Once
+	compileErr  error
+	out         [][]int32           // out-link indices per node, in Links order
+	choose      []*dist.Categorical // per-node weighted out-link sampler (nil when < 2 out-links)
+	nextHop     [][]int32           // [node][dst] → link index on a shortest path, -1 unreachable
+}
+
+// Validate compiles the topology (idempotent, goroutine-safe) and reports
+// whether it is runnable: at least one node, positive finite service
+// rates, non-negative buffers, links between existing distinct nodes with
+// valid weights and delays.
+func (t *Topology) Validate() error {
+	t.compileOnce.Do(t.compile)
+	return t.compileErr
+}
+
+func (t *Topology) compile() {
+	if len(t.Nodes) == 0 {
+		t.compileErr = haperr.Badf("net: topology %q has no nodes", t.Name)
+		return
+	}
+	for i, n := range t.Nodes {
+		if !(n.Mu > 0) || math.IsInf(n.Mu, 1) {
+			t.compileErr = haperr.Badf("net: node %d service rate must be positive and finite (got %v)", i, n.Mu)
+			return
+		}
+		if n.Buffer < 0 {
+			t.compileErr = haperr.Badf("net: node %d buffer must be non-negative (got %d)", i, n.Buffer)
+			return
+		}
+	}
+	t.out = make([][]int32, len(t.Nodes))
+	for li, l := range t.Links {
+		if l.From < 0 || l.From >= len(t.Nodes) || l.To < 0 || l.To >= len(t.Nodes) {
+			t.compileErr = haperr.Badf("net: link %d endpoints (%d→%d) out of range [0,%d)", li, l.From, l.To, len(t.Nodes))
+			return
+		}
+		if l.From == l.To {
+			t.compileErr = haperr.Badf("net: link %d is a self-loop at node %d", li, l.From)
+			return
+		}
+		if l.Weight < 0 || math.IsInf(l.Weight, 1) || math.IsNaN(l.Weight) {
+			t.compileErr = haperr.Badf("net: link %d weight must be finite and non-negative (got %v)", li, l.Weight)
+			return
+		}
+		if l.Delay < 0 || math.IsInf(l.Delay, 1) || math.IsNaN(l.Delay) {
+			t.compileErr = haperr.Badf("net: link %d delay must be finite and non-negative (got %v)", li, l.Delay)
+			return
+		}
+		t.out[l.From] = append(t.out[l.From], int32(li))
+	}
+	// Weighted out-link samplers for probabilistic (destination-less)
+	// routing at fan-out nodes.
+	t.choose = make([]*dist.Categorical, len(t.Nodes))
+	for n, out := range t.out {
+		if len(out) < 2 {
+			continue
+		}
+		ws := make([]float64, len(out))
+		for k, li := range out {
+			w := t.Links[li].Weight
+			if w == 0 {
+				w = 1
+			}
+			ws[k] = w
+		}
+		c, err := dist.NewCategorical(ws)
+		if err != nil {
+			t.compileErr = haperr.Badf("net: node %d routing weights: %v", n, err)
+			return
+		}
+		t.choose[n] = c
+	}
+	t.compileNextHop()
+}
+
+// compileNextHop fills nextHop[n][d] with the out-link of n on a
+// fewest-hops path to d (ties broken by link declaration order, so the
+// table — and with it every destination-routed sample path — is fully
+// deterministic). Built by one reverse BFS per destination.
+func (t *Topology) compileNextHop() {
+	n := len(t.Nodes)
+	// Reverse adjacency: in[v] lists links arriving at v.
+	in := make([][]int32, n)
+	for li, l := range t.Links {
+		in[l.To] = append(in[l.To], int32(li))
+	}
+	t.nextHop = make([][]int32, n)
+	for v := range t.nextHop {
+		t.nextHop[v] = make([]int32, n)
+		for d := range t.nextHop[v] {
+			t.nextHop[v][d] = -1
+		}
+	}
+	distTo := make([]int32, n)
+	queue := make([]int32, 0, n)
+	for d := 0; d < n; d++ {
+		for v := range distTo {
+			distTo[v] = -1
+		}
+		distTo[d] = 0
+		queue = append(queue[:0], int32(d))
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, li := range in[v] {
+				u := int32(t.Links[li].From)
+				if distTo[u] == -1 {
+					distTo[u] = distTo[v] + 1
+					queue = append(queue, u)
+				}
+			}
+		}
+		// Choose, per node, the first declared out-link that descends the
+		// BFS distance field.
+		for v := 0; v < n; v++ {
+			if v == d || distTo[v] == -1 {
+				continue
+			}
+			for _, li := range t.out[v] {
+				to := t.Links[li].To
+				if distTo[to] == distTo[v]-1 {
+					t.nextHop[v][d] = li
+					break
+				}
+			}
+		}
+	}
+}
+
+// NodeName returns the node's label, defaulting to "nodeN".
+func (t *Topology) NodeName(i int) string {
+	if t.Nodes[i].Name != "" {
+		return t.Nodes[i].Name
+	}
+	return "node" + itoa(i)
+}
+
+// Reaches reports whether a destination-routed packet at node from can
+// reach dst. Valid only after Validate.
+func (t *Topology) Reaches(from, dst int) bool {
+	return from == dst || t.nextHop[from][dst] >= 0
+}
+
+// itoa is strconv.Itoa without the import weight in the hot file; node
+// counts are small.
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	p := len(buf)
+	neg := i < 0
+	if neg {
+		i = -i
+	}
+	for i > 0 {
+		p--
+		buf[p] = byte('0' + i%10)
+		i /= 10
+	}
+	if neg {
+		p--
+		buf[p] = '-'
+	}
+	return string(buf[p:])
+}
+
+// Tandem builds a serial line of nodes: node i links to node i+1, and the
+// last node is the sink. One service rate per node.
+func Tandem(name string, mus []float64, buffer int) *Topology {
+	t := &Topology{Name: name}
+	for i, mu := range mus {
+		t.Nodes = append(t.Nodes, Node{Name: "stage" + itoa(i), Mu: mu, Buffer: buffer})
+		if i > 0 {
+			t.Links = append(t.Links, Link{From: i - 1, To: i})
+		}
+	}
+	return t
+}
+
+// FanIn builds the paper's superposition scenario made spatial: k edge
+// nodes (service rate edgeMu each) all feed one bottleneck node (service
+// rate bottleneckMu), which is the sink. Edge node i is node i; the
+// bottleneck is node k.
+func FanIn(name string, k int, edgeMu, bottleneckMu float64, edgeBuffer, bottleneckBuffer int) *Topology {
+	t := &Topology{Name: name}
+	for i := 0; i < k; i++ {
+		t.Nodes = append(t.Nodes, Node{Name: "edge" + itoa(i), Mu: edgeMu, Buffer: edgeBuffer})
+	}
+	t.Nodes = append(t.Nodes, Node{Name: "bottleneck", Mu: bottleneckMu, Buffer: bottleneckBuffer})
+	for i := 0; i < k; i++ {
+		t.Links = append(t.Links, Link{From: i, To: k})
+	}
+	return t
+}
+
+// Grid builds a w×h mesh with bidirectional links between 4-neighbours;
+// node (x, y) is index y*w+x. Destination-routed packets follow shortest
+// paths (ties broken deterministically by link order: +x before +y).
+func Grid(name string, w, h int, mu float64, buffer int) *Topology {
+	t := &Topology{Name: name}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			t.Nodes = append(t.Nodes, Node{Name: "g" + itoa(x) + "_" + itoa(y), Mu: mu, Buffer: buffer})
+		}
+	}
+	id := func(x, y int) int { return y*w + x }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				t.Links = append(t.Links,
+					Link{From: id(x, y), To: id(x+1, y)},
+					Link{From: id(x+1, y), To: id(x, y)})
+			}
+			if y+1 < h {
+				t.Links = append(t.Links,
+					Link{From: id(x, y), To: id(x, y+1)},
+					Link{From: id(x, y+1), To: id(x, y)})
+			}
+		}
+	}
+	return t
+}

@@ -246,3 +246,28 @@ func TestLabelEscaping(t *testing.T) {
 		t.Errorf("escaping wrong:\n%s", b.String())
 	}
 }
+
+func TestGaugeVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("net_queue_depth", "Per-node depth.", "node")
+	v.With("edge0").Set(3)
+	v.With("bottleneck").Set(11)
+	v.With("edge0").Set(5) // same child, last write wins
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	page := b.String()
+	if !strings.Contains(page, `net_queue_depth{node="edge0"} 5`) {
+		t.Errorf("edge0 series wrong:\n%s", page)
+	}
+	if !strings.Contains(page, `net_queue_depth{node="bottleneck"} 11`) {
+		t.Errorf("bottleneck series wrong:\n%s", page)
+	}
+	if strings.Index(page, `node="bottleneck"`) > strings.Index(page, `node="edge0"`) {
+		t.Errorf("series not emitted in sorted label order:\n%s", page)
+	}
+	if v.With("edge0").Value() != 5 {
+		t.Errorf("child lookup returned a different gauge")
+	}
+}

@@ -165,6 +165,61 @@ func (v *CounterVec) With(values ...string) *Counter {
 	return c
 }
 
+// GaugeVec is a family of gauges distinguished by label values (e.g.
+// per-node queue depths of a simulated network). As with CounterVec,
+// looking a child up takes a read lock and builds the label key — grab
+// children once at setup where rates matter; the returned *Gauge itself is
+// hot-path safe.
+type GaugeVec struct {
+	labelNames []string
+	mu         sync.RWMutex
+	children   map[string]*Gauge
+}
+
+// GaugeVec registers and returns a new labelled gauge family.
+func (r *Registry) GaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	if len(labelNames) == 0 {
+		panic("obs: GaugeVec needs at least one label")
+	}
+	v := &GaugeVec{labelNames: labelNames, children: make(map[string]*Gauge)}
+	r.register(name, help, "gauge", func(emit func(string, float64)) {
+		v.mu.RLock()
+		keys := make([]string, 0, len(v.children))
+		for k := range v.children {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			emit(k, float64(v.children[k].Value()))
+		}
+		v.mu.RUnlock()
+	})
+	return v
+}
+
+// With returns the child gauge for the given label values (one per label
+// name, in order), creating it on first use.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if len(values) != len(v.labelNames) {
+		panic(fmt.Sprintf("obs: GaugeVec got %d label values, want %d", len(values), len(v.labelNames)))
+	}
+	key := renderLabels(v.labelNames, values)
+	v.mu.RLock()
+	g, ok := v.children[key]
+	v.mu.RUnlock()
+	if ok {
+		return g
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if g, ok := v.children[key]; ok {
+		return g
+	}
+	g = &Gauge{}
+	v.children[key] = g
+	return g
+}
+
 // renderLabels builds the Prometheus label body `a="x",b="y"` with value
 // escaping per the text exposition format.
 func renderLabels(names, values []string) string {
@@ -316,4 +371,9 @@ func NewRate(name, help string) *Rate { return Default.Rate(name, help) }
 // registry.
 func NewCounterVec(name, help string, labelNames ...string) *CounterVec {
 	return Default.CounterVec(name, help, labelNames...)
+}
+
+// NewGaugeVec registers a labelled gauge family with the Default registry.
+func NewGaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	return Default.GaugeVec(name, help, labelNames...)
 }

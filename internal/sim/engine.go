@@ -65,6 +65,8 @@ const (
 	evCSOpen       // a = app slot,  b = generation, c = flattened message type
 	evCSSendReq    // a = flattened message type
 	evCSSendResp   // a = flattened message type
+	// Network layer (internal/net)
+	evNetDeliver // src = target station index, a = packet handle
 )
 
 // event is one scheduled occurrence, stored by value in the scheduler.
@@ -175,11 +177,14 @@ func (t *table) ok(slot, gen int32) bool {
 	return t.live[slot] && t.gen[slot] == gen
 }
 
-// message is one queued message.
+// message is one queued message. pkt, when >= 0, is an opaque packet
+// handle owned by a network driver (see SetPacketDoneHook); plain
+// single-queue traffic carries -1.
 type message struct {
 	arrival float64
 	svc     dist.Distribution
 	class   int // message class index for per-class stats
+	pkt     int32
 }
 
 // station is one (FIFO queue, server, measurements) triple. Station 0 is
@@ -213,6 +218,13 @@ type station struct {
 	// served, when set, is invoked after each service completion with the
 	// message class; the HAP-CS source uses it to trigger responses.
 	served func(class int)
+	// ingress, when set, intercepts every message a source delivers to
+	// this station before it touches the queue: the network layer binds
+	// one per external source to tag messages with packet state and
+	// re-inject them at the source's ingress node (see SetIngressHook).
+	// The station then acts as a pure tagging alias — its own queue and
+	// server are never used.
+	ingress func(svc dist.Distribution, class int)
 }
 
 func (st *station) qlen() int { return len(st.queue) - st.qhead }
@@ -264,6 +276,14 @@ type Engine struct {
 	// context stops the run early with err recording the cause.
 	ctx context.Context
 	err error
+
+	// Network-layer hooks (see internal/net): deliver handles evNetDeliver
+	// events — a packet reaching a station after a link traversal — and
+	// packetDone fires after a packet's service completes at a station.
+	// Both are engine-wide because one network driver owns every packet
+	// on the engine.
+	deliver    func(station, pkt int32)
+	packetDone func(station, pkt int32, class int, sojourn float64)
 }
 
 // Pre-sizing for the event scheduler and message queues: large enough
@@ -411,6 +431,8 @@ func (e *Engine) dispatch(ev *event) {
 		e.css[ev.src].sendRequest(ev.a)
 	case evCSSendResp:
 		e.css[ev.src].sendResponse(ev.a)
+	case evNetDeliver:
+		e.deliver(ev.src, ev.a)
 	case evFunc:
 		ev.fire()
 	default:
@@ -492,6 +514,7 @@ func (e *Engine) Run() {
 	for i := range e.stations {
 		st := &e.stations[i]
 		st.meas.finish(end, st.qlen())
+		st.meas.Truncated = e.truncated
 	}
 	e.flushObs()
 	obsRuns.Inc()
@@ -544,12 +567,30 @@ func (e *Engine) ArriveMessage(svc dist.Distribution, class int) {
 	e.arriveInto(0, svc, class)
 }
 
-// arriveInto delivers a message to the given station's queue.
+// arriveInto delivers a message to the given station's queue. A station
+// with an ingress hook never queues: the hook owns the message and decides
+// where (and whether) it enters the network.
 func (e *Engine) arriveInto(sti int32, svc dist.Distribution, class int) {
+	st := &e.stations[sti]
+	if st.ingress != nil {
+		st.ingress(svc, class)
+		return
+	}
+	e.enqueue(sti, svc, class, -1)
+}
+
+// ArrivePacketAt delivers a network packet to the given station's queue at
+// the current clock, carrying the driver's packet handle through service so
+// the packet-done hook can route it onward.
+func (e *Engine) ArrivePacketAt(sti int32, svc dist.Distribution, class int, pkt int32) {
+	e.enqueue(sti, svc, class, pkt)
+}
+
+func (e *Engine) enqueue(sti int32, svc dist.Distribution, class int, pkt int32) {
 	e.arrivals++
 	st := &e.stations[sti]
 	st.arrivals++
-	st.queue = append(st.queue, message{arrival: e.now, svc: svc, class: class})
+	st.queue = append(st.queue, message{arrival: e.now, svc: svc, class: class, pkt: pkt})
 	st.meas.onArrival(e.now, st.qlen(), class)
 	if !st.busy {
 		e.startService(sti)
@@ -590,6 +631,9 @@ func (e *Engine) completeService(sti int32) {
 	if st.served != nil {
 		st.served(m.class)
 	}
+	if m.pkt >= 0 && e.packetDone != nil {
+		e.packetDone(sti, m.pkt, m.class, e.now-m.arrival)
+	}
 	if st.qlen() > 0 {
 		e.startService(sti)
 	} else {
@@ -604,6 +648,42 @@ func (e *Engine) completeService(sti int32) {
 func (e *Engine) SetServedHook(f func(class int)) {
 	e.stations[e.installStation].served = f
 }
+
+// SetIngressHook turns the given station into a tagging alias: every
+// message a source bound to it emits is handed to f instead of queueing.
+// The network driver binds one alias station per external source, so the
+// hook's closure knows which source (and hence which ingress node and
+// destination) a message belongs to — information arriveInto alone cannot
+// carry.
+func (e *Engine) SetIngressHook(sti int32, f func(svc dist.Distribution, class int)) {
+	e.stations[sti].ingress = f
+}
+
+// SetPacketDoneHook registers the engine-wide hook fired when a message
+// carrying a packet handle (ArrivePacketAt) completes service: the hook
+// receives the station, the handle, the message class, and the sojourn
+// time spent at that station, and decides the packet's next hop.
+func (e *Engine) SetPacketDoneHook(f func(station, pkt int32, class int, sojourn float64)) {
+	e.packetDone = f
+}
+
+// SetDeliverHook registers the engine-wide handler for scheduled packet
+// deliveries (see ScheduleDeliver).
+func (e *Engine) SetDeliverHook(f func(station, pkt int32)) {
+	e.deliver = f
+}
+
+// ScheduleDeliver enqueues a typed packet-delivery event: at absolute time
+// t the deliver hook fires with (station, pkt). The station index is folded
+// into the event key, so a hop costs one inline event — no closure, no
+// allocation.
+func (e *Engine) ScheduleDeliver(t float64, station, pkt int32) {
+	e.scheduleEv(t, evNetDeliver, station, pkt, 0, 0)
+}
+
+// StationQueueLen returns the current number in system at the given
+// station (the network layer's finite-buffer admission check).
+func (e *Engine) StationQueueLen(sti int32) int { return e.stations[sti].qlen() }
 
 // SetUsers records the current user population at station 0 (legacy
 // single-station API; station-bound sources use addUsers).

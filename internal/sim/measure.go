@@ -62,6 +62,18 @@ type Measurements struct {
 	QueueTrace []TracePoint
 	PopTrace   []PopPoint
 
+	// Truncated reports that the run filling this collector stopped before
+	// its horizon (event budget or cancellation), so the measurement window
+	// covers less simulated time than configured. Set by the engine when
+	// the run finishes.
+	Truncated bool
+	// TruncatedBy, on a merge target, records the Truncated flag of every
+	// collector merged in, in merge order — one entry per merged station or
+	// replication. A bare OR of the flags (Truncated) cannot say *which*
+	// station hit its budget when the merged collectors cover disjoint
+	// measurement windows; this slice attributes the truncation.
+	TruncatedBy []bool
+
 	nextQueueSample float64
 	nextPopSample   float64
 	warm            bool
@@ -191,7 +203,20 @@ func (m *Measurements) finish(t float64, qlen int) {
 // instants keep their own clock). Per-run traces — QueueTrace, PopTrace
 // and the running mean — are timelines of a single sample path and do not
 // aggregate; the receiver's are kept untouched. Merge completed runs only.
+//
+// Truncation does not blur: the merged Truncated flag is the OR, and
+// TruncatedBy appends one entry per merged-in collector (or that
+// collector's own TruncatedBy, when merging an aggregate into an
+// aggregate), so a network or sharded run can attribute a short window to
+// the specific station that hit its budget instead of summing flags from
+// stations with disjoint measurement windows.
 func (m *Measurements) Merge(o *Measurements) {
+	if len(o.TruncatedBy) > 0 {
+		m.TruncatedBy = append(m.TruncatedBy, o.TruncatedBy...)
+	} else {
+		m.TruncatedBy = append(m.TruncatedBy, o.Truncated)
+	}
+	m.Truncated = m.Truncated || o.Truncated
 	m.Delays.Merge(&o.Delays)
 	if len(o.ByClass) > len(m.ByClass) {
 		grown := make([]stats.Welford, len(o.ByClass))

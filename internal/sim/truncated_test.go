@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"testing"
+
+	"hap/internal/core"
+)
+
+// TestMergeTruncatedBy pins the truncation-attribution contract: merging
+// collectors with mixed truncation states yields the OR in Truncated and a
+// per-collector slice in TruncatedBy, so a merged result can name the
+// station that hit its budget instead of losing it in a summed flag.
+func TestMergeTruncatedBy(t *testing.T) {
+	a := NewMeasurements(MeasureConfig{})
+	b := NewMeasurements(MeasureConfig{})
+	c := NewMeasurements(MeasureConfig{})
+	b.Truncated = true
+
+	agg := NewMeasurements(MeasureConfig{})
+	agg.Merge(a)
+	agg.Merge(b)
+	agg.Merge(c)
+	if !agg.Truncated {
+		t.Fatalf("merged Truncated = false, want true (one input truncated)")
+	}
+	want := []bool{false, true, false}
+	if len(agg.TruncatedBy) != len(want) {
+		t.Fatalf("TruncatedBy = %v, want %v", agg.TruncatedBy, want)
+	}
+	for i, w := range want {
+		if agg.TruncatedBy[i] != w {
+			t.Fatalf("TruncatedBy[%d] = %v, want %v (full slice %v)", i, agg.TruncatedBy[i], w, agg.TruncatedBy)
+		}
+	}
+
+	// Merging an aggregate into an aggregate splices its attribution
+	// instead of collapsing it to one entry.
+	outer := NewMeasurements(MeasureConfig{})
+	outer.Merge(agg)
+	if len(outer.TruncatedBy) != 3 || !outer.TruncatedBy[1] {
+		t.Fatalf("merge of aggregate: TruncatedBy = %v, want [false true false]", outer.TruncatedBy)
+	}
+}
+
+// TestRunSetsMeasurementsTruncated checks the engine stamps the flag onto
+// every station's collector: a budget-truncated run marks its measurements,
+// a completed run leaves them clean, and a sharded merge attributes the
+// per-source flags through TruncatedBy.
+func TestRunSetsMeasurementsTruncated(t *testing.T) {
+	m := core.PaperParams(20)
+
+	full := RunHAP(m, Config{Horizon: 200, Seed: 1})
+	if full.Truncated || full.Meas.Truncated {
+		t.Fatalf("untruncated run marked truncated (result=%v meas=%v)", full.Truncated, full.Meas.Truncated)
+	}
+
+	cut := RunHAP(m, Config{Horizon: 200, Seed: 1, MaxEvents: 50})
+	if !cut.Truncated {
+		t.Fatalf("MaxEvents=50 run not truncated")
+	}
+	if !cut.Meas.Truncated {
+		t.Fatalf("truncated run did not mark its Measurements")
+	}
+
+	// Sharded: a tiny per-shard budget truncates every shard; the merged
+	// collector must attribute it per source.
+	res := RunShardedHAP(m, 4, ShardedConfig{Horizon: 200, Seed: 1, Shards: 2, MaxEvents: 40})
+	if !res.Truncated {
+		t.Fatalf("budgeted sharded run not truncated")
+	}
+	if len(res.Merged.TruncatedBy) != 4 {
+		t.Fatalf("merged TruncatedBy has %d entries, want 4 (one per source)", len(res.Merged.TruncatedBy))
+	}
+	for i, ps := range res.PerSource {
+		if res.Merged.TruncatedBy[i] != ps.Truncated {
+			t.Fatalf("TruncatedBy[%d] = %v, want per-source flag %v", i, res.Merged.TruncatedBy[i], ps.Truncated)
+		}
+	}
+}

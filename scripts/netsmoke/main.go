@@ -1,0 +1,271 @@
+// Command netsmoke is the `make net-smoke` gate for the queueing-network
+// layer. It builds cmd/hapnet and asserts the three properties CI cares
+// about:
+//
+//  1. Tandem smoke: a Poisson-fed serial line delivers traffic end to end
+//     (JSON report has nonzero delivered and forwarded counts, zero
+//     unexplained loss).
+//  2. Fan-in determinism: the same fan-in run with -parallel 1 and
+//     -parallel 4 over replications prints bit-identical statistics.
+//  3. Metrics: a network run under -metrics exposes the hap_net_*
+//     families with nonzero forwarded/delivered counters.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"time"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "net-smoke:", err)
+		os.Exit(1)
+	}
+	fmt.Println("net-smoke: ok")
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "netsmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	bin := filepath.Join(dir, "hapnet")
+
+	build := exec.Command("go", "build", "-o", bin, "./cmd/hapnet")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("build hapnet: %w", err)
+	}
+
+	if err := tandemCheck(bin, dir); err != nil {
+		return err
+	}
+	if err := determinismCheck(bin); err != nil {
+		return err
+	}
+	return metricsCheck(bin)
+}
+
+// report mirrors the fields of hapnet's -json document the gate asserts on.
+type report struct {
+	Topology string `json:"topology"`
+	Nodes    []struct {
+		Name        string `json:"name"`
+		In          int64  `json:"in"`
+		Forwarded   int64  `json:"forwarded"`
+		Delivered   int64  `json:"delivered"`
+		DroppedFull int64  `json:"dropped_full"`
+	} `json:"nodes"`
+	Offered     int64 `json:"offered"`
+	Delivered   int64 `json:"delivered"`
+	DroppedFull int64 `json:"dropped_full"`
+	DroppedHops int64 `json:"dropped_hops"`
+	InFlight    int64 `json:"in_flight"`
+	Truncated   bool  `json:"truncated"`
+}
+
+// tandemCheck runs a Poisson-fed 3-stage tandem and asserts conservation
+// and liveness from the JSON report.
+func tandemCheck(bin, dir string) error {
+	out := filepath.Join(dir, "tandem.json")
+	cmd := exec.Command(bin,
+		"-topo", "tandem", "-nodes", "3", "-mu", "12",
+		"-source", "poisson", "-rate", "8",
+		"-horizon", "800", "-seed", "7", "-json", out)
+	if b, err := cmd.CombinedOutput(); err != nil {
+		return fmt.Errorf("tandem run: %w\n%s", err, b)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		return err
+	}
+	var r report
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return fmt.Errorf("tandem report: %w", err)
+	}
+	if r.Truncated {
+		return fmt.Errorf("tandem run truncated before its horizon")
+	}
+	if r.Delivered == 0 {
+		return fmt.Errorf("tandem delivered no packets:\n%s", raw)
+	}
+	for _, n := range r.Nodes[:len(r.Nodes)-1] {
+		if n.Forwarded == 0 {
+			return fmt.Errorf("tandem node %s forwarded nothing:\n%s", n.Name, raw)
+		}
+	}
+	if got := r.Delivered + r.DroppedFull + r.DroppedHops + r.InFlight; got != r.Offered {
+		return fmt.Errorf("tandem conservation violated: offered %d, accounted %d:\n%s", r.Offered, got, raw)
+	}
+	return nil
+}
+
+// wallClock matches report fields that legitimately differ between runs.
+var wallClock = regexp.MustCompile(`, wall .*$`)
+
+// statsLines runs hapnet and returns its deterministic statistics lines
+// with wall-clock fields removed.
+func statsLines(bin string, args ...string) (string, error) {
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		return "", fmt.Errorf("hapnet %s: %w\n%s", strings.Join(args, " "), err, out)
+	}
+	var keep []string
+	for _, line := range strings.Split(string(out), "\n") {
+		switch {
+		case strings.HasPrefix(line, "topology "),
+			strings.HasPrefix(line, "events "),
+			strings.HasPrefix(line, "end-to-end sojourn"),
+			strings.HasPrefix(line, "edge"),
+			strings.HasPrefix(line, "bottleneck"):
+			keep = append(keep, wallClock.ReplaceAllString(line, ""))
+		}
+	}
+	if len(keep) < 5 {
+		return "", fmt.Errorf("hapnet %s: expected >= 5 statistics lines, got %d:\n%s",
+			strings.Join(args, " "), len(keep), out)
+	}
+	return strings.Join(keep, "\n"), nil
+}
+
+// determinismCheck asserts that the replicated fan-in aggregate is
+// bit-identical across worker counts.
+func determinismCheck(bin string) error {
+	args := []string{"-topo", "fanin", "-k", "3", "-mu", "40",
+		"-horizon", "400", "-seed", "11", "-reps", "4"}
+	serial, err := statsLines(bin, append(args, "-parallel", "1")...)
+	if err != nil {
+		return err
+	}
+	parallel, err := statsLines(bin, append(args, "-parallel", "4")...)
+	if err != nil {
+		return err
+	}
+	if serial != parallel {
+		return fmt.Errorf("network stats depend on worker count:\n-- parallel=1 --\n%s\n-- parallel=4 --\n%s", serial, parallel)
+	}
+	return nil
+}
+
+// required are the families the network layer promises on the exposition
+// page; forwarded/delivered must be live (nonzero), the rest present.
+var required = []string{
+	"hap_net_packets_forwarded_total",
+	"hap_net_packets_delivered_total",
+	"hap_net_packets_dropped_total",
+	"hap_net_runs_total",
+	"hap_net_nodes",
+	"hap_net_node_queue_depth",
+	"hap_net_hops_total",
+}
+
+// metricsCheck runs a fan-in workload long enough to outlive one scrape
+// and asserts the hap_net_* families are on the exposition page with
+// nonzero forwarded counters.
+func metricsCheck(bin string) error {
+	cmd := exec.Command(bin,
+		"-metrics", "127.0.0.1:0",
+		"-topo", "fanin", "-k", "4", "-mu", "40", "-horizon", "3e4", "-seed", "11")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+
+	addr, err := awaitAddr(stdout)
+	if err != nil {
+		return err
+	}
+	// The forwarded counter flushes on a 4096-event watermark; poll until
+	// it moves (the run above sustains ~10⁵ events/s, so this is quick).
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		page, err := scrape("http://" + addr + "/metrics")
+		if err != nil {
+			return err
+		}
+		var missing []string
+		for _, name := range required {
+			if !strings.Contains(page, name) {
+				missing = append(missing, name)
+			}
+		}
+		if len(missing) > 0 {
+			return fmt.Errorf("network exposition missing %v\n--- page ---\n%s", missing, page)
+		}
+		if counterPositive(page, "hap_net_packets_forwarded_total") &&
+			counterPositive(page, "hap_net_packets_delivered_total") {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("forwarded/delivered counters never went nonzero\n--- page ---\n%s", page)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// counterPositive reports whether the named unlabelled sample is > 0.
+func counterPositive(page, name string) bool {
+	for _, line := range strings.Split(page, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == name {
+			return fields[1] != "0"
+		}
+	}
+	return false
+}
+
+// awaitAddr reads the child's stdout until the "metrics: http://ADDR/metrics"
+// announcement (and keeps draining the pipe so the child never blocks).
+func awaitAddr(r io.Reader) (string, error) {
+	sc := bufio.NewScanner(r)
+	addrCh := make(chan string, 1)
+	go func() {
+		defer close(addrCh)
+		for sc.Scan() {
+			if rest, ok := strings.CutPrefix(sc.Text(), "metrics: http://"); ok {
+				addrCh <- strings.TrimSuffix(rest, "/metrics")
+			}
+		}
+	}()
+	select {
+	case addr, ok := <-addrCh:
+		if !ok || addr == "" {
+			return "", fmt.Errorf("hapnet exited without announcing a metrics address")
+		}
+		return addr, nil
+	case <-time.After(30 * time.Second):
+		return "", fmt.Errorf("timed out waiting for the metrics address announcement")
+	}
+}
+
+func scrape(url string) (string, error) {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	return string(body), err
+}
